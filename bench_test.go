@@ -1,0 +1,96 @@
+package abyss1000_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/bench"
+)
+
+// benchParams shrinks the experiments so `go test -bench=.` finishes in a
+// few minutes; cmd/abyss-bench runs the same experiments at quick or full
+// (1024-core) scale. Every benchmark reports the headline metric of its
+// figure via b.ReportMetric.
+func benchParams() bench.Params {
+	return bench.Params{
+		MaxCores:        16,
+		WarmupCycles:    100_000,
+		MeasureCycles:   400_000,
+		Rows:            8_192,
+		FieldSize:       100,
+		NativeWarmupNS:  2_000_000,
+		NativeMeasureNS: 10_000_000,
+		Seed:            42,
+	}
+}
+
+// reportFigure re-runs the figure b.N times and reports the last series'
+// top-core throughput.
+func reportFigure(b *testing.B, run bench.FigureFunc) {
+	b.Helper()
+	p := benchParams()
+	var fig *bench.Figure
+	for i := 0; i < b.N; i++ {
+		fig = run(p)
+	}
+	if fig == nil || len(fig.Series) == 0 {
+		b.Fatal("figure produced no series")
+	}
+	s := fig.Series[0]
+	if len(s.Points) == 0 {
+		b.Fatal("series has no points")
+	}
+	last := s.Points[len(s.Points)-1]
+	b.ReportMetric(last.Y, "Mtxn/s@top")
+}
+
+// BenchmarkFig03 regenerates Fig. 3: simulator vs real hardware trends.
+func BenchmarkFig03(b *testing.B) { reportFigure(b, bench.Fig3) }
+
+// BenchmarkFig04 regenerates Fig. 4: lock thrashing.
+func BenchmarkFig04(b *testing.B) { reportFigure(b, bench.Fig4) }
+
+// BenchmarkFig05 regenerates Fig. 5: waiting vs aborting.
+func BenchmarkFig05(b *testing.B) { reportFigure(b, bench.Fig5) }
+
+// BenchmarkFig06 regenerates Fig. 6: timestamp allocation methods.
+func BenchmarkFig06(b *testing.B) { reportFigure(b, bench.Fig6) }
+
+// BenchmarkFig07 regenerates Fig. 7: timestamp allocation in the DBMS.
+func BenchmarkFig07(b *testing.B) { reportFigure(b, bench.Fig7) }
+
+// BenchmarkFig08 regenerates Fig. 8: read-only YCSB.
+func BenchmarkFig08(b *testing.B) { reportFigure(b, bench.Fig8) }
+
+// BenchmarkFig09 regenerates Fig. 9: write-intensive YCSB, theta=0.6.
+func BenchmarkFig09(b *testing.B) { reportFigure(b, bench.Fig9) }
+
+// BenchmarkFig10 regenerates Fig. 10: write-intensive YCSB, theta=0.8.
+func BenchmarkFig10(b *testing.B) { reportFigure(b, bench.Fig10) }
+
+// BenchmarkFig11 regenerates Fig. 11: the contention sweep.
+func BenchmarkFig11(b *testing.B) { reportFigure(b, bench.Fig11) }
+
+// BenchmarkFig12 regenerates Fig. 12: working set size.
+func BenchmarkFig12(b *testing.B) { reportFigure(b, bench.Fig12) }
+
+// BenchmarkFig13 regenerates Fig. 13: read/write mixture.
+func BenchmarkFig13(b *testing.B) { reportFigure(b, bench.Fig13) }
+
+// BenchmarkFig14 regenerates Fig. 14: database partitioning.
+func BenchmarkFig14(b *testing.B) { reportFigure(b, bench.Fig14) }
+
+// BenchmarkFig15 regenerates Fig. 15: multi-partition transactions.
+func BenchmarkFig15(b *testing.B) { reportFigure(b, bench.Fig15) }
+
+// BenchmarkFig16 regenerates Fig. 16: TPC-C with 4 warehouses.
+func BenchmarkFig16(b *testing.B) { reportFigure(b, bench.Fig16) }
+
+// BenchmarkFig17 regenerates Fig. 17: TPC-C with warehouses >= workers.
+func BenchmarkFig17(b *testing.B) { reportFigure(b, bench.Fig17) }
+
+// BenchmarkAblationMalloc regenerates the §4.1 allocator ablation.
+func BenchmarkAblationMalloc(b *testing.B) { reportFigure(b, bench.AblationMalloc) }
+
+// BenchmarkAblationValidation regenerates the §4.3 OCC validation
+// ablation (parallel per-tuple vs global critical section).
+func BenchmarkAblationValidation(b *testing.B) { reportFigure(b, bench.AblationValidation) }

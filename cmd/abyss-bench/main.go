@@ -1,0 +1,91 @@
+// Command abyss-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	abyss-bench -fig 6              # one experiment, quick scale
+//	abyss-bench -fig 9 -full       # one experiment at 1024 cores
+//	abyss-bench -all                # the whole evaluation, quick scale
+//	abyss-bench -table 2            # the bottleneck-summary table
+//	abyss-bench -list               # enumerate experiments
+//
+// Every run is deterministic for a given -seed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"abyss1000/internal/bench"
+)
+
+func main() {
+	var (
+		figID   = flag.String("fig", "", "experiment id to run (3-17, malloc)")
+		tableID = flag.Int("table", 0, "print table N (1 or 2)")
+		all     = flag.Bool("all", false, "run every experiment")
+		full    = flag.Bool("full", false, "paper scale (1024 cores); default is quick scale")
+		list    = flag.Bool("list", false, "list experiments")
+		seed    = flag.Int64("seed", 42, "determinism seed")
+		cores   = flag.Int("maxcores", 0, "override the top of the core ladder")
+	)
+	flag.Parse()
+
+	params := bench.Quick()
+	if *full {
+		params = bench.Full()
+	}
+	params.Seed = *seed
+	if *cores > 0 {
+		params.MaxCores = *cores
+	}
+
+	switch {
+	case *list:
+		for _, e := range bench.Registry {
+			fmt.Printf("  -fig %-7s %s\n", e.ID, e.Desc)
+		}
+		return
+	case *tableID == 1:
+		fmt.Print(table1)
+		return
+	case *tableID == 2:
+		fmt.Print(bench.Table2(params))
+		return
+	case *all:
+		for _, e := range bench.Registry {
+			runOne(e.ID, e.Run, params)
+		}
+		fmt.Print(bench.Table2(params))
+		return
+	case *figID != "":
+		run, err := bench.Lookup(*figID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runOne(*figID, run, params)
+		return
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runOne(id string, run bench.FigureFunc, params bench.Params) {
+	start := time.Now()
+	fig := run(params)
+	fmt.Print(fig.Format())
+	fmt.Printf("   [experiment %s took %v at max %d cores]\n\n", id, time.Since(start).Round(time.Millisecond), params.MaxCores)
+}
+
+const table1 = `== Table 1: Concurrency control schemes ==
+ 2PL  DL_DETECT   2PL with deadlock detection
+      NO_WAIT     2PL with non-waiting deadlock prevention
+      WAIT_DIE    2PL with wait-and-die deadlock prevention
+ T/O  TIMESTAMP   Basic T/O algorithm
+      MVCC        Multi-version T/O
+      OCC         Optimistic concurrency control
+      HSTORE      T/O with partition-level locking
+`

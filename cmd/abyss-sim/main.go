@@ -1,0 +1,104 @@
+// Command abyss-sim runs a single workload configuration on the many-core
+// simulator (or natively) and prints throughput, abort rate and the
+// six-component time breakdown.
+//
+// Examples:
+//
+//	abyss-sim -scheme NO_WAIT -cores 64 -theta 0.8
+//	abyss-sim -scheme MVCC -cores 256 -readpct 0.9
+//	abyss-sim -workload tpcc -scheme HSTORE -cores 64 -warehouses 64
+//	abyss-sim -scheme DL_DETECT -runtime native -cores 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"abyss1000/internal/bench"
+	"abyss1000/internal/core"
+	"abyss1000/internal/native"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/tpcc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "NO_WAIT", "DL_DETECT|NO_WAIT|WAIT_DIE|TIMESTAMP|MVCC|OCC|HSTORE")
+		workload   = flag.String("workload", "ycsb", "ycsb|tpcc")
+		runtimeSel = flag.String("runtime", "sim", "sim|native")
+		cores      = flag.Int("cores", 64, "logical cores / worker threads")
+		seed       = flag.Int64("seed", 42, "determinism seed")
+		tsMethod   = flag.String("ts", "atomic", "mutex|atomic|batch8|batch16|clock|hw")
+
+		// YCSB knobs.
+		rows    = flag.Int("rows", 65536, "YCSB table size")
+		theta   = flag.Float64("theta", 0.6, "YCSB zipf skew")
+		readPct = flag.Float64("readpct", 0.5, "fraction of reads")
+		reqs    = flag.Int("reqs", 16, "accesses per transaction")
+		part    = flag.Bool("partitioned", false, "partitioned YCSB (needed for HSTORE)")
+		mpFrac  = flag.Float64("mp", 0.0, "multi-partition txn fraction")
+
+		// TPC-C knobs.
+		warehouses = flag.Int("warehouses", 4, "TPC-C warehouses")
+		payPct     = flag.Float64("paypct", 0.5, "fraction of Payment txns")
+
+		warmup  = flag.Uint64("warmup", 300_000, "warmup cycles (ns if native)")
+		measure = flag.Uint64("measure", 1_500_000, "measurement cycles (ns if native)")
+	)
+	flag.Parse()
+
+	method, err := tsalloc.ParseMethod(*tsMethod)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	var rtm rt.Runtime
+	switch *runtimeSel {
+	case "sim":
+		rtm = sim.New(*cores, *seed)
+	case "native":
+		rtm = native.New(*cores, *seed)
+		if *measure < 10_000_000 {
+			*warmup, *measure = 5_000_000, 50_000_000 // sensible wall-clock window
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown runtime %q\n", *runtimeSel)
+		os.Exit(2)
+	}
+
+	db := core.NewDB(rtm)
+	var wl core.Workload
+	switch *workload {
+	case "ycsb":
+		cfg := ycsb.DefaultConfig()
+		cfg.Rows = *rows
+		cfg.Theta = *theta
+		cfg.ReadPct = *readPct
+		cfg.ReqPerTxn = *reqs
+		cfg.Partitioned = *part || *schemeName == "HSTORE"
+		cfg.MPFraction = *mpFrac
+		cfg.MPParts = 2
+		wl = ycsb.Build(db, cfg)
+	case "tpcc":
+		cfg := tpcc.DefaultConfig(*warehouses)
+		cfg.PaymentPct = *payPct
+		cfg.InsertsPerWorker = int(*measure/1000) + 1024
+		wl = tpcc.Build(db, cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+
+	scheme := bench.MakeScheme(*schemeName, method)
+	res := core.Run(db, scheme, wl, core.Config{
+		WarmupCycles:  *warmup,
+		MeasureCycles: *measure,
+		AbortBackoff:  1000,
+	})
+	fmt.Println(res.String())
+}

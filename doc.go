@@ -1,0 +1,20 @@
+// Package abyss1000 is a from-scratch Go reproduction of "Staring into
+// the Abyss: An Evaluation of Concurrency Control with One Thousand
+// Cores" (Yu, Bezerra, Pavlo, Devadas, Stonebraker — VLDB 2014, the
+// DBx1000 paper).
+//
+// The repository contains a deterministic many-core machine simulator
+// standing in for Graphite (internal/sim, internal/mesh), a lightweight
+// main-memory DBMS (internal/core, internal/storage, internal/index),
+// the paper's seven concurrency-control schemes (internal/cc/...), the
+// six timestamp-allocation strategies (internal/tsalloc), both
+// benchmarks (internal/workload/{ycsb,tpcc}), serializability checkers
+// (internal/history), and a harness regenerating every table and figure
+// of the paper's evaluation (internal/bench, cmd/abyss-bench).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
+// shape comparison. The benchmarks in bench_test.go exercise one
+// experiment per paper table/figure at a reduced scale suitable for
+// `go test -bench=.`.
+package abyss1000

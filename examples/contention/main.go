@@ -1,0 +1,49 @@
+// Contention study: the paper's §5.2 story in miniature. All six
+// tuple-level schemes run the same write-intensive YCSB workload while
+// the Zipfian skew climbs from uniform to hotspot-heavy, showing how each
+// scheme's throughput collapses differently (2PL thrashes or aborts, T/O
+// rides timestamps until the hot tuples saturate).
+package main
+
+import (
+	"fmt"
+
+	"abyss1000/internal/bench"
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+func main() {
+	const cores = 32
+	thetas := []float64{0, 0.4, 0.6, 0.8}
+
+	fmt.Printf("write-intensive YCSB on %d simulated cores\n\n", cores)
+	fmt.Printf("%-11s", "scheme")
+	for _, th := range thetas {
+		fmt.Printf("  theta=%-5.1f", th)
+	}
+	fmt.Println("   (M txn/s; higher is better)")
+
+	for _, name := range bench.SchemeNames {
+		fmt.Printf("%-11s", name)
+		for _, th := range thetas {
+			engine := sim.New(cores, 7)
+			db := core.NewDB(engine)
+			cfg := ycsb.DefaultConfig()
+			cfg.Rows = 16384
+			cfg.Theta = th
+			wl := ycsb.Build(db, cfg)
+			res := core.Run(db, bench.MakeScheme(name, tsalloc.Atomic), wl, core.Config{
+				WarmupCycles:  200_000,
+				MeasureCycles: 800_000,
+				AbortBackoff:  1000,
+			})
+			fmt.Printf("  %9.3f  ", res.Throughput()/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nwatch DL_DETECT collapse first (lock thrashing), NO_WAIT trade")
+	fmt.Println("throughput for aborts, and the T/O schemes degrade more gracefully.")
+}

@@ -1,0 +1,41 @@
+// TPC-C: the paper's §5.6 experiment in miniature. Runs the 50/50
+// Payment+NewOrder mix on a 4-warehouse database (more workers than
+// warehouses — Payment's W_YTD update becomes the bottleneck) and then on
+// a database with one warehouse per worker, where the hotspot disappears
+// and H-STORE's partitioning shines.
+package main
+
+import (
+	"fmt"
+
+	"abyss1000/internal/bench"
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/tpcc"
+)
+
+func run(cores, warehouses int) {
+	fmt.Printf("\n-- %d cores, %d warehouses --\n", cores, warehouses)
+	for _, name := range bench.AllSchemeNames {
+		engine := sim.New(cores, 11)
+		db := core.NewDB(engine)
+		cfg := tpcc.DefaultConfig(warehouses)
+		cfg.InsertsPerWorker = 2048
+		wl := tpcc.Build(db, cfg)
+		res := core.Run(db, bench.MakeScheme(name, tsalloc.Atomic), wl, core.Config{
+			WarmupCycles:  200_000,
+			MeasureCycles: 800_000,
+			AbortBackoff:  1000,
+		})
+		fmt.Printf("%-11s %8.3f M txn/s   abort %5.1f%%\n",
+			name, res.Throughput()/1e6, res.AbortFraction()*100)
+	}
+}
+
+func main() {
+	const cores = 32
+	fmt.Println("TPC-C Payment+NewOrder (50/50), simulated cores:", cores)
+	run(cores, 4)     // contended: workers share warehouses (Fig 16)
+	run(cores, cores) // one warehouse per worker (Fig 17 regime)
+}

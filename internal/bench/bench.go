@@ -1,0 +1,273 @@
+// Package bench defines one experiment per table/figure of the paper's
+// evaluation (§4-§5) and renders the same series the paper plots. Each
+// figure function returns a Figure whose Format() prints aligned columns:
+// x-values down the side, one column per series, plus the time-breakdown
+// tables for the figures that include them.
+//
+// Experiments run at a configurable scale: Quick() keeps the full suite
+// in minutes on a laptop; Full() climbs to 1024 simulated cores with the
+// paper's parameters. Absolute throughputs differ from the paper (our
+// timing model is not Graphite); EXPERIMENTS.md records the shape
+// comparison per figure.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"abyss1000/internal/cc/hstore"
+	"abyss1000/internal/cc/mvcc"
+	"abyss1000/internal/cc/occ"
+	"abyss1000/internal/cc/to"
+	"abyss1000/internal/cc/twopl"
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/tpcc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+// Params sizes an experiment run.
+type Params struct {
+	// MaxCores is the top of the core-count ladder (the paper's is
+	// 1024).
+	MaxCores int
+
+	// WarmupCycles and MeasureCycles size each data point's simulated
+	// window.
+	WarmupCycles  uint64
+	MeasureCycles uint64
+
+	// Rows is the YCSB table size.
+	Rows int
+
+	// FieldSize scales YCSB tuples (paper: 100 bytes × 10 columns).
+	FieldSize int
+
+	// NativeWarmupNS and NativeMeasureNS size the wall-clock windows of
+	// the Fig. 3 native-hardware runs.
+	NativeWarmupNS  uint64
+	NativeMeasureNS uint64
+
+	// Seed makes every experiment deterministic.
+	Seed int64
+}
+
+// Quick returns parameters that run the full suite in a few minutes.
+func Quick() Params {
+	return Params{
+		MaxCores:        64,
+		WarmupCycles:    200_000,
+		MeasureCycles:   800_000,
+		Rows:            16_384,
+		FieldSize:       100,
+		NativeWarmupNS:  5_000_000,
+		NativeMeasureNS: 50_000_000,
+		Seed:            42,
+	}
+}
+
+// Full returns parameters approaching the paper's scale (1024 simulated
+// cores). Expect tens of minutes for the whole suite.
+func Full() Params {
+	return Params{
+		MaxCores:        1024,
+		WarmupCycles:    300_000,
+		MeasureCycles:   2_000_000,
+		Rows:            262_144,
+		FieldSize:       100,
+		NativeWarmupNS:  20_000_000,
+		NativeMeasureNS: 200_000_000,
+		Seed:            42,
+	}
+}
+
+// Ladder returns the core counts swept by scalability figures: powers of
+// four up to max, always including max.
+func (p Params) Ladder() []int {
+	var l []int
+	for c := 1; c < p.MaxCores; c *= 4 {
+		l = append(l, c)
+	}
+	return append(l, p.MaxCores)
+}
+
+// ladderFrom is Ladder starting no lower than lo.
+func (p Params) ladderFrom(lo int) []int {
+	var out []int
+	for _, c := range p.Ladder() {
+		if c >= lo {
+			out = append(out, c)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{p.MaxCores}
+	}
+	return out
+}
+
+// coreConfig builds the engine config for one data point.
+func (p Params) coreConfig() core.Config {
+	return core.Config{
+		WarmupCycles:  p.WarmupCycles,
+		MeasureCycles: p.MeasureCycles,
+		AbortBackoff:  1000,
+	}
+}
+
+// SchemeNames lists the six tuple-level schemes in the paper's plotting
+// order; H-STORE joins in §5.5/§5.6.
+var SchemeNames = []string{"DL_DETECT", "NO_WAIT", "WAIT_DIE", "TIMESTAMP", "MVCC", "OCC"}
+
+// AllSchemeNames includes H-STORE.
+var AllSchemeNames = append(append([]string{}, SchemeNames...), "HSTORE")
+
+// MakeScheme builds a scheme by paper name. T/O schemes draw timestamps
+// with method m (the paper's default is non-batched atomic addition).
+func MakeScheme(name string, m tsalloc.Method) core.Scheme {
+	switch name {
+	case "DL_DETECT":
+		return twopl.New(twopl.DLDetect, twopl.Options{})
+	case "NO_WAIT":
+		return twopl.New(twopl.NoWait, twopl.Options{})
+	case "WAIT_DIE":
+		return twopl.New(twopl.WaitDie, twopl.Options{TsMethod: m})
+	case "TIMESTAMP":
+		return to.New(m)
+	case "MVCC":
+		return mvcc.New(m)
+	case "OCC":
+		return occ.New(m)
+	case "HSTORE":
+		return hstore.New(m)
+	case "ADAPTIVE":
+		return twopl.NewAdaptive(twopl.Options{})
+	case "OCC_CENTRAL":
+		return occ.NewCentral(m)
+	default:
+		panic("bench: unknown scheme " + name)
+	}
+}
+
+// Point is one measured (x, y) pair with the full result attached.
+type Point struct {
+	X   float64
+	Y   float64
+	Res core.Result
+}
+
+// Series is one line of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Breakdown is one figure's per-scheme time breakdown table (the "(b)"
+// subfigures).
+type Breakdown struct {
+	Title string
+	Rows  []BreakdownRow
+}
+
+// BreakdownRow is one scheme's six component fractions.
+type BreakdownRow struct {
+	Scheme    string
+	Fractions [stats.NumComponents]float64
+}
+
+// Figure is a rendered experiment.
+type Figure struct {
+	ID         string
+	Title      string
+	XLabel     string
+	YLabel     string
+	Series     []Series
+	Breakdowns []Breakdown
+	Notes      string
+}
+
+// value extracts the figure's y-value from a result; overridable per
+// figure via yExtract.
+type yExtract func(core.Result) float64
+
+func throughputM(r core.Result) float64 { return r.Throughput() / 1e6 }
+
+// Format renders the figure as an aligned text table.
+func (f *Figure) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", f.ID, f.Title)
+	if f.Notes != "" {
+		fmt.Fprintf(&b, "   %s\n", f.Notes)
+	}
+	if len(f.Series) > 0 {
+		// Header.
+		fmt.Fprintf(&b, "%-14s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %16s", s.Name)
+		}
+		fmt.Fprintf(&b, "    (%s)\n", f.YLabel)
+		// Rows keyed by the x-values of the first series.
+		for i := range f.Series[0].Points {
+			fmt.Fprintf(&b, "%-14.4g", f.Series[0].Points[i].X)
+			for _, s := range f.Series {
+				if i < len(s.Points) {
+					fmt.Fprintf(&b, " %16.4f", s.Points[i].Y)
+				} else {
+					fmt.Fprintf(&b, " %16s", "-")
+				}
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, bd := range f.Breakdowns {
+		fmt.Fprintf(&b, "-- %s --\n", bd.Title)
+		fmt.Fprintf(&b, "%-12s", "scheme")
+		for c := stats.Component(0); c < stats.NumComponents; c++ {
+			fmt.Fprintf(&b, " %12s", c.String())
+		}
+		b.WriteByte('\n')
+		for _, row := range bd.Rows {
+			fmt.Fprintf(&b, "%-12s", row.Scheme)
+			for _, fr := range row.Fractions {
+				fmt.Fprintf(&b, " %11.1f%%", fr*100)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// addPoint appends a measured point with its display value.
+func (s *Series) addPoint(x float64, r core.Result, f yExtract) {
+	s.Points = append(s.Points, Point{X: x, Y: f(r), Res: r})
+}
+
+// runYCSBSim executes one YCSB configuration on the simulator.
+func runYCSBSim(cores int, scheme core.Scheme, ycfg ycsb.Config, ccfg core.Config, seed int64) core.Result {
+	eng := sim.New(cores, seed)
+	db := core.NewDB(eng)
+	wl := ycsb.Build(db, ycfg)
+	return core.Run(db, scheme, wl, ccfg)
+}
+
+// runTPCCSim executes one TPC-C configuration on the simulator.
+func runTPCCSim(cores int, scheme core.Scheme, tcfg tpcc.Config, ccfg core.Config, seed int64) core.Result {
+	eng := sim.New(cores, seed)
+	db := core.NewDB(eng)
+	wl := tpcc.Build(db, tcfg)
+	return core.Run(db, scheme, wl, ccfg)
+}
+
+// breakdownRows collects the per-scheme breakdown at one data point.
+func breakdownRows(results map[string]core.Result, order []string) []BreakdownRow {
+	rows := make([]BreakdownRow, 0, len(order))
+	for _, name := range order {
+		r, ok := results[name]
+		if !ok {
+			continue
+		}
+		rows = append(rows, BreakdownRow{Scheme: name, Fractions: r.Breakdown.Fractions()})
+	}
+	return rows
+}

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+
+	"abyss1000/internal/cc/twopl"
+	"abyss1000/internal/core"
+	"abyss1000/internal/native"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+// ycsbBase returns the standard YCSB configuration for params p.
+func (p Params) ycsbBase() ycsb.Config {
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = p.Rows
+	cfg.FieldSize = p.FieldSize
+	return cfg
+}
+
+// Fig3 reproduces "Simulator vs. Real Hardware": the same read-intensive
+// medium-contention YCSB workload under every scheme, once on the
+// simulator and once on real goroutines, up to the host's core count. The
+// claim under test is trend agreement, not absolute speed.
+func Fig3(p Params) *Figure {
+	ycfg := p.ycsbBase()
+	ycfg.ReadPct = 0.9
+	ycfg.Theta = 0.6
+
+	maxNative := runtime.GOMAXPROCS(0)
+	if maxNative > 32 {
+		maxNative = 32
+	}
+	var cores []int
+	for c := 1; c <= maxNative; c *= 2 {
+		cores = append(cores, c)
+	}
+
+	fig := &Figure{
+		ID:     "Fig 3",
+		Title:  "Simulator vs. Real Hardware (YCSB read-intensive, theta=0.6)",
+		XLabel: "cores",
+		YLabel: "Mtxn/s",
+		Notes:  fmt.Sprintf("native columns ran on this host (%d hardware threads); compare trends, not magnitudes", runtime.NumCPU()),
+	}
+	for _, name := range SchemeNames {
+		simSeries := Series{Name: "sim:" + name}
+		natSeries := Series{Name: "native:" + name}
+		for _, c := range cores {
+			r := runYCSBSim(c, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			simSeries.addPoint(float64(c), r, throughputM)
+
+			rtm := native.New(c, p.Seed)
+			db := core.NewDB(rtm)
+			wl := ycsb.Build(db, ycfg)
+			// Native windows are wall-clock nanoseconds.
+			ncfg := core.Config{WarmupCycles: p.NativeWarmupNS, MeasureCycles: p.NativeMeasureNS, AbortBackoff: 1000}
+			nr := core.Run(db, MakeScheme(name, tsalloc.Atomic), wl, ncfg)
+			natSeries.addPoint(float64(c), nr, throughputM)
+		}
+		fig.Series = append(fig.Series, simSeries, natSeries)
+	}
+	return fig
+}
+
+// Fig4 reproduces "Lock Thrashing": DL_DETECT with detection disabled,
+// transactions acquiring locks in primary-key order, under three
+// contention levels. Throughput climbs then collapses as core counts and
+// skew grow — the fundamental 2PL bottleneck.
+func Fig4(p Params) *Figure {
+	fig := &Figure{
+		ID:     "Fig 4",
+		Title:  "Lock Thrashing (DL_DETECT, no detection, key-ordered acquisition, write-intensive YCSB)",
+		XLabel: "cores",
+		YLabel: "Mtxn/s",
+	}
+	for _, theta := range []float64{0, 0.6, 0.8} {
+		ycfg := p.ycsbBase()
+		ycfg.ReadPct = 0.5
+		ycfg.Theta = theta
+		ycfg.Ordered = true
+		s := Series{Name: fmt.Sprintf("theta=%.1f", theta)}
+		for _, c := range p.Ladder() {
+			scheme := twopl.NewWithTimeout(twopl.NoTimeout, true)
+			r := runYCSBSim(c, scheme, ycfg, p.coreConfig(), p.Seed)
+			s.addPoint(float64(c), r, throughputM)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig5 reproduces "Waiting vs. Aborting": DL_DETECT under high contention
+// at 64 cores, sweeping the wait timeout from 0 (equivalent to NO_WAIT)
+// upward. Short timeouts trade abort rate for throughput.
+func Fig5(p Params) *Figure {
+	ycfg := p.ycsbBase()
+	ycfg.ReadPct = 0.5
+	ycfg.Theta = 0.8
+	cores := 64
+	if cores > p.MaxCores {
+		cores = p.MaxCores
+	}
+
+	fig := &Figure{
+		ID:     "Fig 5",
+		Title:  fmt.Sprintf("Waiting vs. Aborting (DL_DETECT, theta=0.8, %d cores)", cores),
+		XLabel: "timeout(us)",
+		YLabel: "Mtxn/s / abort-fraction",
+		Notes:  "timeouts beyond the measurement window behave as infinite waiting",
+	}
+	thr := Series{Name: "throughput"}
+	abr := Series{Name: "abort-fraction"}
+	for _, timeout := range []uint64{0, 1_000, 10_000, 100_000, 1_000_000} {
+		scheme := twopl.NewWithTimeout(timeout, false)
+		if timeout == 0 {
+			scheme = twopl.NewWithTimeout(0, false)
+		}
+		r := runYCSBSim(cores, scheme, ycfg, p.coreConfig(), p.Seed)
+		x := float64(timeout) / 1000.0 // cycles -> µs at 1 GHz
+		thr.addPoint(x, r, throughputM)
+		abr.addPoint(x, r, func(r core.Result) float64 { return r.AbortFraction() })
+	}
+	fig.Series = append(fig.Series, thr, abr)
+	return fig
+}
+
+// Fig6 reproduces the timestamp-allocation micro-benchmark: every worker
+// allocates timestamps back-to-back; throughput per method versus core
+// count. The atomic counter plateaus on coherence traffic, the hardware
+// counter reaches ~1 ts/cycle, the clock scales linearly.
+func Fig6(p Params) *Figure {
+	fig := &Figure{
+		ID:     "Fig 6",
+		Title:  "Timestamp Allocation Micro-benchmark",
+		XLabel: "cores",
+		YLabel: "Mts/s",
+	}
+	for _, m := range tsalloc.Methods {
+		s := Series{Name: m.String()}
+		for _, c := range p.Ladder() {
+			eng := sim.New(c, p.Seed)
+			alloc := tsalloc.New(m, eng)
+			end := p.MeasureCycles
+			counts := make([]uint64, c)
+			eng.Run(func(pr rt.Proc) {
+				for pr.Now() < end {
+					alloc.Next(pr)
+					counts[pr.ID()]++
+				}
+			})
+			var total uint64
+			for _, n := range counts {
+				total += n
+			}
+			res := core.Result{
+				Scheme:        m.String(),
+				Workers:       c,
+				Commits:       total,
+				MeasureCycles: end,
+				Frequency:     eng.Frequency(),
+			}
+			s.addPoint(float64(c), res, throughputM)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig7 reproduces "Timestamp Allocation (in the DBMS)": the TIMESTAMP
+// scheme on write-intensive YCSB with each allocation method, at zero and
+// medium contention. Batched allocation collapses under contention
+// because restarted transactions keep drawing stale-batch timestamps.
+func Fig7(p Params) *Figure {
+	fig := &Figure{
+		ID:     "Fig 7",
+		Title:  "Timestamp Allocation in the DBMS (YCSB write-intensive, TIMESTAMP)",
+		XLabel: "cores",
+		YLabel: "Mtxn/s",
+	}
+	for _, sub := range []struct {
+		label string
+		theta float64
+	}{
+		{"(a) no contention", 0},
+		{"(b) medium contention", 0.6},
+	} {
+		for _, m := range tsalloc.Methods {
+			ycfg := p.ycsbBase()
+			ycfg.ReadPct = 0.5
+			ycfg.Theta = sub.theta
+			s := Series{Name: fmt.Sprintf("%s %s", sub.label, m)}
+			for _, c := range p.Ladder() {
+				r := runYCSBSim(c, MakeScheme("TIMESTAMP", m), ycfg, p.coreConfig(), p.Seed)
+				s.addPoint(float64(c), r, throughputM)
+			}
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig
+}
+
+var _ = stats.Useful

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/tsalloc"
+)
+
+// schemesAcrossLadder sweeps every tuple-level scheme across the core
+// ladder for one YCSB config, capturing the breakdown at breakdownCores.
+func (p Params) schemesAcrossLadder(readPct, theta float64, breakdownCores int, bdTitle string) *Figure {
+	ycfg := p.ycsbBase()
+	ycfg.ReadPct = readPct
+	ycfg.Theta = theta
+
+	fig := &Figure{XLabel: "cores", YLabel: "Mtxn/s"}
+	at := map[string]core.Result{}
+	for _, name := range SchemeNames {
+		s := Series{Name: name}
+		for _, c := range p.Ladder() {
+			r := runYCSBSim(c, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			s.addPoint(float64(c), r, throughputM)
+			if c == breakdownCores {
+				at[name] = r
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	if len(at) > 0 {
+		fig.Breakdowns = append(fig.Breakdowns, Breakdown{
+			Title: bdTitle,
+			Rows:  breakdownRows(at, SchemeNames),
+		})
+	}
+	return fig
+}
+
+// capCores clamps a paper core count to this run's ladder top.
+func (p Params) capCores(want int) int {
+	if want > p.MaxCores {
+		return p.MaxCores
+	}
+	return want
+}
+
+// Fig8 reproduces "Read-only Workload": uniform accesses, 16 reads per
+// transaction. T/O schemes flatline on timestamp allocation; TIMESTAMP
+// and OCC additionally pay for read copies.
+func Fig8(p Params) *Figure {
+	bd := p.MaxCores
+	fig := p.schemesAcrossLadder(1.0, 0, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
+	fig.ID = "Fig 8"
+	fig.Title = "Read-only YCSB (uniform)"
+	return fig
+}
+
+// Fig9 reproduces "Write-Intensive Workload (Medium Contention)".
+func Fig9(p Params) *Figure {
+	bd := p.capCores(512)
+	fig := p.schemesAcrossLadder(0.5, 0.6, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
+	fig.ID = "Fig 9"
+	fig.Title = "Write-intensive YCSB, medium contention (theta=0.6)"
+	return fig
+}
+
+// Fig10 reproduces "Write-Intensive Workload (High Contention)".
+func Fig10(p Params) *Figure {
+	bd := p.capCores(64)
+	fig := p.schemesAcrossLadder(0.5, 0.8, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
+	fig.ID = "Fig 10"
+	fig.Title = "Write-intensive YCSB, high contention (theta=0.8)"
+	return fig
+}
+
+// Fig11 reproduces "Write-Intensive Workload (Variable Contention)": the
+// theta sweep at 64 cores. Throughput collapses past theta ~0.6-0.8 for
+// every scheme.
+func Fig11(p Params) *Figure {
+	cores := p.capCores(64)
+	fig := &Figure{
+		ID:     "Fig 11",
+		Title:  fmt.Sprintf("Write-intensive YCSB, variable contention (%d cores)", cores),
+		XLabel: "theta",
+		YLabel: "Mtxn/s",
+	}
+	thetas := []float64{0, 0.2, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}
+	for _, name := range SchemeNames {
+		s := Series{Name: name}
+		for _, theta := range thetas {
+			ycfg := p.ycsbBase()
+			ycfg.ReadPct = 0.5
+			ycfg.Theta = theta
+			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			s.addPoint(theta, r, throughputM)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig12 reproduces "Working Set Size": tuples accessed per second as the
+// per-transaction footprint grows from 1 to 16, at 512 cores, medium
+// skew. Short transactions expose the timestamp-allocation bottleneck;
+// long ones amortize it.
+func Fig12(p Params) *Figure {
+	cores := p.capCores(512)
+	fig := &Figure{
+		ID:     "Fig 12",
+		Title:  fmt.Sprintf("Working Set Size (theta=0.6, %d cores)", cores),
+		XLabel: "rows/txn",
+		YLabel: "Mtuple/s",
+	}
+	lengths := []int{1, 2, 4, 8, 12, 16}
+	at := map[string]core.Result{}
+	for _, name := range SchemeNames {
+		s := Series{Name: name}
+		for _, n := range lengths {
+			ycfg := p.ycsbBase()
+			ycfg.ReadPct = 0.5
+			ycfg.Theta = 0.6
+			ycfg.ReqPerTxn = n
+			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			s.addPoint(float64(n), r, func(r core.Result) float64 { return r.TuplesPerSec() / 1e6 })
+			if n == 1 {
+				at[name] = r
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	fig.Breakdowns = append(fig.Breakdowns, Breakdown{
+		Title: "(b) runtime breakdown @ 1 row/txn",
+		Rows:  breakdownRows(at, SchemeNames),
+	})
+	return fig
+}
+
+// Fig13 reproduces "Read/Write Mixture": the read-percentage sweep under
+// high skew at 64 cores. MVCC's non-blocking reads dominate once the mix
+// is read-heavy but not read-only.
+func Fig13(p Params) *Figure {
+	cores := p.capCores(64)
+	fig := &Figure{
+		ID:     "Fig 13",
+		Title:  fmt.Sprintf("Read/Write Mixture (theta=0.8, %d cores)", cores),
+		XLabel: "read-fraction",
+		YLabel: "Mtxn/s",
+	}
+	mixes := []float64{0, 0.2, 0.4, 0.6, 0.8, 0.9, 1.0}
+	for _, name := range SchemeNames {
+		s := Series{Name: name}
+		for _, mix := range mixes {
+			ycfg := p.ycsbBase()
+			ycfg.ReadPct = mix
+			ycfg.Theta = 0.8
+			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			s.addPoint(mix, r, throughputM)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

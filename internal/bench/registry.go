@@ -1,0 +1,43 @@
+package bench
+
+import "fmt"
+
+// FigureFunc builds one experiment at the given scale.
+type FigureFunc func(Params) *Figure
+
+// Registry maps experiment ids (as passed to abyss-bench -fig) to their
+// implementations, in the paper's order.
+var Registry = []struct {
+	ID   string
+	Desc string
+	Run  FigureFunc
+}{
+	{"3", "Simulator vs real hardware (YCSB, theta=0.6)", Fig3},
+	{"4", "Lock thrashing (DL_DETECT without detection)", Fig4},
+	{"5", "Waiting vs aborting (DL_DETECT timeout sweep)", Fig5},
+	{"6", "Timestamp allocation micro-benchmark", Fig6},
+	{"7", "Timestamp allocation in the DBMS", Fig7},
+	{"8", "Read-only YCSB", Fig8},
+	{"9", "Write-intensive YCSB, medium contention", Fig9},
+	{"10", "Write-intensive YCSB, high contention", Fig10},
+	{"11", "Contention (theta) sweep", Fig11},
+	{"12", "Working set size", Fig12},
+	{"13", "Read/write mixture", Fig13},
+	{"14", "Database partitioning (H-STORE)", Fig14},
+	{"15", "Multi-partition transactions", Fig15},
+	{"16", "TPC-C, 4 warehouses", Fig16},
+	{"17", "TPC-C, 1024 warehouses", Fig17},
+	{"malloc", "Ablation: per-worker arenas vs centralized malloc", AblationMalloc},
+	{"occ-validation", "Ablation: OCC parallel vs central validation", AblationValidation},
+	{"adaptive", "Extension: the §6.1 DL_DETECT/NO_WAIT hybrid", ExtensionAdaptive},
+}
+
+// Lookup finds a registry entry by id.
+func Lookup(id string) (FigureFunc, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e.Run, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown experiment %q (try 3-17 or malloc)", id)
+}

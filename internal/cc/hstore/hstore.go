@@ -1,0 +1,223 @@
+// Package hstore implements the H-STORE scheme (§2.2): T/O with
+// partition-level locking. The database is split into disjoint partitions,
+// each protected by a single coarse lock; a transaction must acquire the
+// locks of every partition it will touch before it runs, which requires
+// knowing the partition set up front (the engine's Txn.Partitions).
+// Waiting transactions queue per partition in timestamp order, so the
+// oldest transaction runs first (§2.2: the engine "grants it access to
+// that partition if the transaction has the oldest timestamp in the
+// queue").
+//
+// As in the paper's optimized implementation (§4.3 "Local Partitions"),
+// partitions are logical: multi-partition transactions access remote
+// partitions' tuples directly through shared memory once they hold the
+// locks, instead of shipping query requests. Locks are acquired in
+// ascending partition order, which makes the protocol deadlock-free.
+//
+// With partition locks held there is no per-tuple concurrency control at
+// all — no tuple latches, no copies — which is why H-STORE's overhead is
+// so low on perfectly partitionable workloads (Fig. 14) and why a single
+// multi-partition transaction stalls whole partitions (Fig. 15).
+package hstore
+
+import (
+	"abyss1000/internal/core"
+	"abyss1000/internal/costs"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/storage"
+	"abyss1000/internal/tsalloc"
+)
+
+// waiter is one queued transaction at a partition.
+type waiter struct {
+	ts uint64
+	st *txnState
+}
+
+// partition is one coarse lock with a timestamp-ordered wait queue.
+type partition struct {
+	latch   rt.Latch
+	locked  bool
+	waiters []waiter // kept sorted ascending by ts
+}
+
+// undoRec is a before-image (needed for program-logic rollbacks; H-STORE
+// has no CC-induced aborts).
+type undoRec struct {
+	t    *storage.Table
+	slot int
+	img  []byte
+}
+
+// txnState is the reusable per-worker transaction state.
+type txnState struct {
+	w       *core.Worker
+	held    []int
+	undo    []undoRec
+	granted bool
+}
+
+// HStore is the partition-locking scheme.
+type HStore struct {
+	method tsalloc.Method
+	db     *core.DB
+	alloc  tsalloc.Allocator
+	parts  []partition
+}
+
+// New creates an H-STORE scheme drawing timestamps via method m.
+func New(m tsalloc.Method) *HStore { return &HStore{method: m} }
+
+// Name implements core.Scheme.
+func (s *HStore) Name() string { return "HSTORE" }
+
+// Setup implements core.Scheme.
+func (s *HStore) Setup(db *core.DB) {
+	s.db = db
+	s.alloc = tsalloc.New(s.method, db.RT)
+	s.parts = make([]partition, db.NParts)
+	for i := range s.parts {
+		s.parts[i].latch = db.RT.NewLatch(0x45<<40 | uint64(i))
+	}
+}
+
+// NewTxnState implements core.Scheme.
+func (s *HStore) NewTxnState(w *core.Worker) interface{} {
+	return &txnState{w: w}
+}
+
+// Begin implements core.Scheme: allocate the scheduling timestamp and lock
+// every partition the transaction declared, in ascending order.
+func (s *HStore) Begin(tx *core.TxnCtx) {
+	st := tx.State.(*txnState)
+	st.held = st.held[:0]
+	st.undo = st.undo[:0]
+	tx.TS = s.alloc.Next(tx.P)
+	parts := tx.Txn.Partitions()
+	if len(parts) == 0 {
+		panic("hstore: transaction did not declare its partitions")
+	}
+	for _, pid := range parts {
+		s.lockPartition(tx, st, pid)
+		st.held = append(st.held, pid)
+	}
+}
+
+// lockPartition blocks until partition pid is granted to st.
+func (s *HStore) lockPartition(tx *core.TxnCtx, st *txnState, pid int) {
+	p := tx.P
+	pt := &s.parts[pid]
+	pt.latch.Acquire(p, stats.Manager)
+	p.Tick(stats.Manager, costs.ManagerOp)
+	if !pt.locked && (len(pt.waiters) == 0 || tx.TS <= pt.waiters[0].ts) {
+		pt.locked = true
+		pt.latch.Release(p, stats.Manager)
+		return
+	}
+	// Enqueue in timestamp order.
+	st.granted = false
+	pos := len(pt.waiters)
+	for i := range pt.waiters {
+		if tx.TS < pt.waiters[i].ts {
+			pos = i
+			break
+		}
+	}
+	pt.waiters = append(pt.waiters, waiter{})
+	copy(pt.waiters[pos+1:], pt.waiters[pos:])
+	pt.waiters[pos] = waiter{ts: tx.TS, st: st}
+	pt.latch.Release(p, stats.Manager)
+
+	for {
+		p.ParkTimeout(stats.Wait, costs.WaitCheckInterval)
+		pt.latch.Acquire(p, stats.Manager)
+		if st.granted {
+			st.granted = false
+			pt.latch.Release(p, stats.Manager)
+			return
+		}
+		pt.latch.Release(p, stats.Manager)
+	}
+}
+
+// unlockPartition releases pid, granting the oldest waiter.
+func (s *HStore) unlockPartition(tx *core.TxnCtx, pid int) {
+	p := tx.P
+	pt := &s.parts[pid]
+	pt.latch.Acquire(p, stats.Manager)
+	p.Tick(stats.Manager, costs.ManagerOp)
+	if len(pt.waiters) > 0 {
+		next := pt.waiters[0]
+		copy(pt.waiters, pt.waiters[1:])
+		pt.waiters = pt.waiters[:len(pt.waiters)-1]
+		next.st.granted = true
+		s.db.RT.Unpark(p, next.st.w.P)
+		// Lock stays held, transferred to the waiter.
+	} else {
+		pt.locked = false
+	}
+	pt.latch.Release(p, stats.Manager)
+}
+
+// Read implements core.Scheme: with partition locks held, read in place
+// with no per-tuple work at all.
+func (s *HStore) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
+	tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
+	return t.Row(slot), nil
+}
+
+// Write implements core.Scheme: in-place write under the partition lock,
+// with an undo image for program-logic rollbacks.
+func (s *HStore) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+	st := tx.State.(*txnState)
+	row := t.Row(slot)
+	have := false
+	for i := range st.undo {
+		if st.undo[i].t == t && st.undo[i].slot == slot {
+			have = true
+			break
+		}
+	}
+	if !have {
+		img := tx.Alloc.Alloc(tx.P, stats.Manager, len(row))
+		copy(img, row)
+		tx.P.Tick(stats.Manager, costs.CopyCost(uint64(len(row))))
+		st.undo = append(st.undo, undoRec{t: t, slot: slot, img: img})
+	}
+	fn(row)
+	tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(len(row)))
+	return nil
+}
+
+// Commit implements core.Scheme: release partitions.
+func (s *HStore) Commit(tx *core.TxnCtx) error {
+	st := tx.State.(*txnState)
+	for _, pid := range st.held {
+		s.unlockPartition(tx, pid)
+	}
+	st.held = st.held[:0]
+	st.undo = st.undo[:0]
+	return nil
+}
+
+// Abort implements core.Scheme: restore undo images, release partitions.
+// Only program logic aborts H-STORE transactions.
+func (s *HStore) Abort(tx *core.TxnCtx) {
+	st := tx.State.(*txnState)
+	for i := len(st.undo) - 1; i >= 0; i-- {
+		u := &st.undo[i]
+		copy(u.t.Row(u.slot), u.img)
+		tx.P.MemWrite(stats.Abort, u.t.MemKey(u.slot), uint64(len(u.img)))
+	}
+	st.undo = st.undo[:0]
+	for _, pid := range st.held {
+		s.unlockPartition(tx, pid)
+	}
+	st.held = st.held[:0]
+}
+
+// InitTuple implements core.Scheme: nothing per-tuple under H-STORE.
+func (s *HStore) InitTuple(tx *core.TxnCtx, t *storage.Table, slot int) {}
+
+var _ core.Scheme = (*HStore)(nil)

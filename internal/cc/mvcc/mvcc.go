@@ -1,0 +1,379 @@
+// Package mvcc implements multi-version timestamp ordering (MVCC in the
+// paper, §2.2): every write creates a new version tagged with its writer's
+// timestamp; a read is directed to the newest version whose write
+// timestamp does not exceed the reader's — so "the DBMS does not reject a
+// read operation because the element it targets has already been
+// overwritten" (non-blocking reads, Fig. 13's story).
+//
+// Writes install *pending* versions at their timestamp position and
+// finalize them at commit; a reader whose visible version is still pending
+// waits for the writer to resolve it — the paper's "wait for a tuple whose
+// value is not ready yet" (the WAIT component for T/O schemes). The write
+// rule is classic MVTO: writing at ts aborts iff the preceding version has
+// been read by a transaction later than ts (prev.rts > ts).
+//
+// Old versions are pruned using a watermark of the minimum active
+// transaction timestamp, published per-worker through runtime counters.
+// Each read request appending version history is also why the paper notes
+// MVCC "increases memory traffic" (Fig. 17 discussion).
+package mvcc
+
+import (
+	"abyss1000/internal/core"
+	"abyss1000/internal/costs"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/storage"
+	"abyss1000/internal/tsalloc"
+)
+
+// idleTS marks a worker with no transaction in flight.
+const idleTS = ^uint64(0)
+
+// gcEvery is how many transactions a worker runs between watermark
+// refreshes; pruning itself happens opportunistically during writes.
+const gcEvery = 64
+
+// maxChain is the version-chain length that triggers opportunistic pruning.
+const maxChain = 8
+
+// version is one entry of a tuple's version chain, ordered by wts.
+type version struct {
+	wts     uint64
+	rts     uint64
+	data    []byte
+	pending bool
+	owner   *txnState
+}
+
+// entry is a tuple's chain plus its latch. The base (load-time) version is
+// implicit until the first write materializes it: data in the table slab,
+// write timestamp baseWTS, read timestamp baseRTS.
+type entry struct {
+	latch    rt.Latch
+	baseWTS  uint64
+	baseRTS  uint64
+	versions []version
+
+	// waiters are parked readers/writers blocked on a pending version;
+	// resolution wakes them all and they re-check.
+	waiters []rt.Proc
+}
+
+// pendingRec tracks a pending version for commit/abort.
+type pendingRec struct {
+	t    *storage.Table
+	slot int
+}
+
+// txnState is the reusable per-worker transaction state.
+type txnState struct {
+	pending []pendingRec
+	ntxn    uint64
+	minTS   uint64 // cached GC watermark
+}
+
+// MVCC is the multi-version T/O scheme.
+type MVCC struct {
+	method tsalloc.Method
+	db     *core.DB
+	alloc  tsalloc.Allocator
+	meta   [][]entry
+	active []rt.Counter // per-worker active transaction timestamp
+}
+
+// New creates an MVCC scheme drawing timestamps via method m.
+func New(m tsalloc.Method) *MVCC { return &MVCC{method: m} }
+
+// Name implements core.Scheme.
+func (s *MVCC) Name() string { return "MVCC" }
+
+// Setup implements core.Scheme.
+func (s *MVCC) Setup(db *core.DB) {
+	s.db = db
+	s.alloc = tsalloc.New(s.method, db.RT)
+	tables := db.Catalog.Tables()
+	s.meta = make([][]entry, len(tables))
+	for _, t := range tables {
+		entries := make([]entry, t.Capacity())
+		for i := range entries {
+			entries[i].latch = db.RT.NewLatch(uint64(t.ID)<<44 | 0x33<<36 | uint64(i))
+		}
+		s.meta[t.ID] = entries
+	}
+	n := db.RT.NumProcs()
+	s.active = make([]rt.Counter, n)
+	for i := range s.active {
+		s.active[i] = db.RT.NewCounter(0xAC<<40 | uint64(i))
+	}
+}
+
+// NewTxnState implements core.Scheme.
+func (s *MVCC) NewTxnState(w *core.Worker) interface{} {
+	return &txnState{minTS: 0}
+}
+
+// Begin implements core.Scheme.
+func (s *MVCC) Begin(tx *core.TxnCtx) {
+	st := tx.State.(*txnState)
+	st.pending = st.pending[:0]
+	tx.TS = s.alloc.Next(tx.P)
+	s.active[tx.P.ID()].Store(tx.P, stats.Manager, tx.TS)
+	st.ntxn++
+	if st.ntxn%gcEvery == 0 {
+		st.minTS = s.watermark(tx.P)
+	}
+	tx.P.Tick(stats.Manager, costs.ManagerOp)
+}
+
+// watermark scans the active-transaction table for the minimum timestamp.
+// A stale (smaller) watermark only delays pruning, never unsafely prunes.
+func (s *MVCC) watermark(p rt.Proc) uint64 {
+	min := idleTS
+	for _, c := range s.active {
+		if v := c.Load(p, stats.Manager); v < min {
+			min = v
+		}
+	}
+	if min == idleTS {
+		return 0
+	}
+	return min
+}
+
+func (s *MVCC) entryOf(t *storage.Table, slot int) *entry {
+	return &s.meta[t.ID][slot]
+}
+
+// visible returns the index into e.versions of the newest version with
+// wts <= ts, or -1 for the implicit base version, or -2 if even the base
+// version is too new (an inserted tuple read at an earlier timestamp).
+func (e *entry) visible(ts uint64) int {
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if e.versions[i].wts <= ts {
+			return i
+		}
+	}
+	if e.baseWTS <= ts {
+		return -1
+	}
+	return -2
+}
+
+// wakeAll unparks every waiter on e. Caller holds e.latch.
+func (s *MVCC) wakeAll(p rt.Proc, e *entry) {
+	for _, w := range e.waiters {
+		s.db.RT.Unpark(p, w)
+	}
+	e.waiters = e.waiters[:0]
+}
+
+// Read implements core.Scheme.
+func (s *MVCC) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
+	st := tx.State.(*txnState)
+	e := s.entryOf(t, slot)
+	for {
+		e.latch.Acquire(tx.P, stats.Manager)
+		tx.P.Tick(stats.Manager, costs.ManagerOp)
+		i := e.visible(tx.TS)
+		if i == -2 {
+			e.latch.Release(tx.P, stats.Manager)
+			return nil, core.ErrAbort
+		}
+		if i == -1 {
+			if e.baseRTS < tx.TS {
+				e.baseRTS = tx.TS
+			}
+			tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
+			row := t.Row(slot)
+			e.latch.Release(tx.P, stats.Manager)
+			return row, nil
+		}
+		v := &e.versions[i]
+		if v.pending {
+			if v.owner == st {
+				data := v.data
+				e.latch.Release(tx.P, stats.Manager)
+				return data, nil // read own pending write
+			}
+			// The value at our timestamp is not ready yet: wait.
+			e.waiters = append(e.waiters, tx.P)
+			e.latch.Release(tx.P, stats.Manager)
+			tx.P.ParkTimeout(stats.Wait, costs.WaitCheckInterval)
+			continue
+		}
+		if v.rts < tx.TS {
+			v.rts = tx.TS
+		}
+		tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
+		data := v.data
+		e.latch.Release(tx.P, stats.Manager)
+		return data, nil
+	}
+}
+
+// Write implements core.Scheme: install a pending version at tx.TS.
+func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+	st := tx.State.(*txnState)
+	e := s.entryOf(t, slot)
+	n := t.Schema.RowSize()
+	for {
+		e.latch.Acquire(tx.P, stats.Manager)
+		tx.P.Tick(stats.Manager, costs.ManagerOp)
+		i := e.visible(tx.TS)
+		if i == -2 {
+			e.latch.Release(tx.P, stats.Manager)
+			return core.ErrAbort
+		}
+
+		var prevRTS uint64
+		var prevData []byte
+		if i == -1 {
+			prevRTS = e.baseRTS
+			prevData = t.Row(slot)
+		} else {
+			v := &e.versions[i]
+			if v.pending {
+				if v.owner == st {
+					// Second write by the same transaction:
+					// update the pending version in place.
+					fn(v.data)
+					tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(n))
+					e.latch.Release(tx.P, stats.Manager)
+					return nil
+				}
+				// A concurrent writer precedes us; its outcome
+				// decides our fate. Wait for resolution.
+				e.waiters = append(e.waiters, tx.P)
+				e.latch.Release(tx.P, stats.Manager)
+				tx.P.ParkTimeout(stats.Wait, costs.WaitCheckInterval)
+				continue
+			}
+			prevRTS = v.rts
+			prevData = v.data
+		}
+
+		// MVTO write rule: a transaction later than ts already read
+		// the preceding version — writing at ts would invalidate it.
+		if prevRTS > tx.TS {
+			e.latch.Release(tx.P, stats.Manager)
+			return core.ErrAbort
+		}
+
+		// This update is a read-modify-write: it *reads* the
+		// preceding version, so bump that version's read timestamp.
+		// Without this, an older RMW arriving later could slot its
+		// version underneath ours and our increment would be lost.
+		if i == -1 {
+			if e.baseRTS < tx.TS {
+				e.baseRTS = tx.TS
+			}
+		} else if v := &e.versions[i]; v.rts < tx.TS {
+			v.rts = tx.TS
+		}
+
+		// Install the pending version (sorted position: after i).
+		buf := make([]byte, n)
+		copy(buf, prevData)
+		tx.P.Tick(stats.Manager, costs.CopyCost(uint64(n))+costs.AllocBase)
+		fn(buf)
+		tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(n))
+		nv := version{wts: tx.TS, data: buf, pending: true, owner: st}
+		pos := i + 1
+		e.versions = append(e.versions, version{})
+		copy(e.versions[pos+1:], e.versions[pos:])
+		e.versions[pos] = nv
+
+		if len(e.versions) > maxChain {
+			s.prune(e, st.minTS)
+		}
+		e.latch.Release(tx.P, stats.Manager)
+		st.pending = append(st.pending, pendingRec{t: t, slot: slot})
+		return nil
+	}
+}
+
+// prune drops committed versions no active transaction can reach: every
+// version strictly older than the newest version with wts <= watermark.
+// Caller holds e.latch.
+func (s *MVCC) prune(e *entry, watermark uint64) {
+	keepFrom := -1
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if e.versions[i].wts <= watermark && !e.versions[i].pending {
+			keepFrom = i
+			break
+		}
+	}
+	if keepFrom <= 0 {
+		return
+	}
+	// The version at keepFrom becomes the new floor; absorb its
+	// predecessor's role by promoting it into the base.
+	e.baseWTS = e.versions[keepFrom].wts
+	e.versions = append(e.versions[:0], e.versions[keepFrom:]...)
+}
+
+// Commit implements core.Scheme: finalize pending versions.
+func (s *MVCC) Commit(tx *core.TxnCtx) error {
+	st := tx.State.(*txnState)
+	for _, pr := range st.pending {
+		e := s.entryOf(pr.t, pr.slot)
+		e.latch.Acquire(tx.P, stats.Manager)
+		tx.P.Tick(stats.Manager, costs.ManagerOp)
+		for i := range e.versions {
+			if e.versions[i].pending && e.versions[i].owner == st {
+				e.versions[i].pending = false
+				e.versions[i].owner = nil
+			}
+		}
+		s.wakeAll(tx.P, e)
+		e.latch.Release(tx.P, stats.Manager)
+	}
+	st.pending = st.pending[:0]
+	s.active[tx.P.ID()].Store(tx.P, stats.Manager, idleTS)
+	return nil
+}
+
+// Abort implements core.Scheme: unlink pending versions.
+func (s *MVCC) Abort(tx *core.TxnCtx) {
+	st := tx.State.(*txnState)
+	for _, pr := range st.pending {
+		e := s.entryOf(pr.t, pr.slot)
+		e.latch.Acquire(tx.P, stats.Abort)
+		tx.P.Tick(stats.Abort, costs.ManagerOp)
+		for i := 0; i < len(e.versions); {
+			if e.versions[i].pending && e.versions[i].owner == st {
+				e.versions = append(e.versions[:i], e.versions[i+1:]...)
+				continue
+			}
+			i++
+		}
+		s.wakeAll(tx.P, e)
+		e.latch.Release(tx.P, stats.Abort)
+	}
+	st.pending = st.pending[:0]
+	s.active[tx.P.ID()].Store(tx.P, stats.Abort, idleTS)
+}
+
+// InitTuple implements core.Scheme: the inserted tuple's base version is
+// stamped with the inserting transaction's timestamp.
+func (s *MVCC) InitTuple(tx *core.TxnCtx, t *storage.Table, slot int) {
+	e := s.entryOf(t, slot)
+	e.baseWTS = tx.TS
+}
+
+// LatestCommitted returns the newest committed version's data for (t,
+// slot). It takes no latch and is intended for post-run verification on a
+// quiescent database (under MVCC the table slab holds only the base
+// version; current state lives in the version chains).
+func (s *MVCC) LatestCommitted(t *storage.Table, slot int) []byte {
+	e := s.entryOf(t, slot)
+	for i := len(e.versions) - 1; i >= 0; i-- {
+		if !e.versions[i].pending {
+			return e.versions[i].data
+		}
+	}
+	return t.Row(slot)
+}
+
+var _ core.Scheme = (*MVCC)(nil)

@@ -1,0 +1,206 @@
+package mvcc_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/cc/mvcc"
+	"abyss1000/internal/cctest"
+	"abyss1000/internal/core"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/tsalloc"
+)
+
+// TestLateReaderSeesOldVersion is MVCC's defining behaviour (§2.2: "the
+// DBMS does not reject a read operation because the element it targets
+// has already been overwritten"): a reader older than a committed write
+// gets the previous version instead of aborting — the case where basic
+// TIMESTAMP would abort.
+func TestLateReaderSeesOldVersion(t *testing.T) {
+	f := cctest.NewFixture(2, 8, 1)
+	scheme := mvcc.New(tsalloc.Atomic)
+	scheme.Setup(f.DB)
+	f.Engine.Run(func(p rt.Proc) {
+		w := core.NewWorker(p, f.DB, scheme)
+		if p.ID() == 0 {
+			// Older reader: draws its timestamp first, reads late.
+			var v uint64
+			err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+				tx.P.Sync(stats.Useful, 50_000) // younger writer commits meanwhile
+				var err error
+				v, err = f.ReadVal(tx, 0)
+				return err
+			}})
+			if err != nil {
+				t.Errorf("older reader aborted: %v (MVCC must serve the old version)", err)
+			}
+			if v != 0 {
+				t.Errorf("older reader saw %d, want the pre-write value 0", v)
+			}
+			return
+		}
+		p.Tick(stats.Useful, 5_000) // younger writer
+		if err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			return f.Bump(tx, 0, 42)
+		}}); err != nil {
+			t.Errorf("writer aborted: %v", err)
+		}
+	})
+}
+
+// TestYoungReaderWaitsForPending: a reader whose visible version is a
+// pending write waits for resolution (the T/O WAIT component).
+func TestYoungReaderWaitsForPending(t *testing.T) {
+	f := cctest.NewFixture(2, 8, 1)
+	scheme := mvcc.New(tsalloc.Atomic)
+	scheme.Setup(f.DB)
+	f.Engine.Run(func(p rt.Proc) {
+		w := core.NewWorker(p, f.DB, scheme)
+		if p.ID() == 0 {
+			if err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+				if err := f.Bump(tx, 0, 7); err != nil {
+					return err
+				}
+				tx.P.Sync(stats.Useful, 40_000) // pending version outstanding
+				return nil
+			}}); err != nil {
+				t.Errorf("writer aborted: %v", err)
+			}
+			return
+		}
+		p.Tick(stats.Useful, 10_000) // younger than the pending write
+		var v uint64
+		if err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			var err error
+			v, err = f.ReadVal(tx, 0)
+			return err
+		}}); err != nil {
+			t.Errorf("reader aborted: %v", err)
+			return
+		}
+		if v != 7 {
+			t.Errorf("reader saw %d, want 7", v)
+		}
+		if p.Stats().Get(stats.Wait) == 0 {
+			t.Error("reader billed no WAIT time despite a pending version")
+		}
+	})
+}
+
+// TestWriteUnderReadAborts: writing at a timestamp older than the visible
+// version's read timestamp must abort (MVTO write rule).
+func TestWriteUnderReadAborts(t *testing.T) {
+	f := cctest.NewFixture(2, 8, 1)
+	scheme := mvcc.New(tsalloc.Atomic)
+	scheme.Setup(f.DB)
+	var late error
+	f.Engine.Run(func(p rt.Proc) {
+		w := core.NewWorker(p, f.DB, scheme)
+		if p.ID() == 0 {
+			late = w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+				tx.P.Sync(stats.Useful, 50_000) // a younger txn reads meanwhile
+				return f.Bump(tx, 0, 1)
+			}})
+			return
+		}
+		p.Tick(stats.Useful, 5_000)
+		if err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			_, err := f.ReadVal(tx, 0)
+			return err
+		}}); err != nil {
+			t.Errorf("reader aborted: %v", err)
+		}
+	})
+	if late != core.ErrAbort {
+		t.Fatalf("late write got %v, want ErrAbort", late)
+	}
+}
+
+// TestAbortUnlinksPendingVersion: an aborted writer leaves no version.
+func TestAbortUnlinksPendingVersion(t *testing.T) {
+	f := cctest.NewFixture(1, 8, 1)
+	scheme := mvcc.New(tsalloc.Atomic)
+	scheme.Setup(f.DB)
+	f.Engine.Run(func(p rt.Proc) {
+		w := core.NewWorker(p, f.DB, scheme)
+		_ = w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			if err := f.Bump(tx, 0, 5); err != nil {
+				return err
+			}
+			return core.ErrUserAbort
+		}})
+		// A later reader must see the original value.
+		var v uint64
+		if err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			var err error
+			v, err = f.ReadVal(tx, 0)
+			return err
+		}}); err != nil {
+			t.Errorf("reader aborted: %v", err)
+		}
+		if v != 0 {
+			t.Errorf("aborted write visible: %d", v)
+		}
+	})
+	got := f.Table.Schema.GetU64(scheme.LatestCommitted(f.Table, 0), 1)
+	if got != 0 {
+		t.Fatalf("latest committed = %d, want 0", got)
+	}
+}
+
+// TestVersionChainAccumulatesAndServes: successive writers build a chain;
+// each commit is visible to subsequent readers via LatestCommitted.
+func TestVersionChainAccumulatesAndServes(t *testing.T) {
+	f := cctest.NewFixture(1, 8, 1)
+	scheme := mvcc.New(tsalloc.Atomic)
+	scheme.Setup(f.DB)
+	f.Engine.Run(func(p rt.Proc) {
+		w := core.NewWorker(p, f.DB, scheme)
+		for i := 0; i < 20; i++ {
+			if err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+				return f.Bump(tx, 0, 1)
+			}}); err != nil {
+				t.Fatalf("bump %d failed: %v", i, err)
+			}
+		}
+	})
+	got := f.Table.Schema.GetU64(scheme.LatestCommitted(f.Table, 0), 1)
+	if got != 20 {
+		t.Fatalf("latest committed = %d, want 20 (chain pruning lost writes?)", got)
+	}
+}
+
+// TestReadOwnPendingWrite: within one transaction, reads observe the
+// transaction's own pending version.
+func TestReadOwnPendingWrite(t *testing.T) {
+	f := cctest.NewFixture(1, 8, 1)
+	scheme := mvcc.New(tsalloc.Atomic)
+	scheme.Setup(f.DB)
+	f.Engine.Run(func(p rt.Proc) {
+		w := core.NewWorker(p, f.DB, scheme)
+		err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			if err := f.Bump(tx, 4, 11); err != nil {
+				return err
+			}
+			v, err := f.ReadVal(tx, 4)
+			if err != nil {
+				return err
+			}
+			if v != 11 {
+				t.Errorf("own pending write invisible: %d", v)
+			}
+			// Second write to the same tuple updates in place.
+			if err := f.Bump(tx, 4, 1); err != nil {
+				return err
+			}
+			v, err = f.ReadVal(tx, 4)
+			if v != 12 || err != nil {
+				t.Errorf("second write lost: %d, %v", v, err)
+			}
+			return nil
+		}})
+		if err != nil {
+			t.Errorf("txn failed: %v", err)
+		}
+	})
+}

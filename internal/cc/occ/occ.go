@@ -1,0 +1,293 @@
+// Package occ implements optimistic concurrency control (OCC in the paper,
+// §2.2): transactions track read/write sets, buffer all writes in a
+// private workspace, and validate at commit. Following the paper's design
+// — "our algorithm is similar to Hekaton in that we parallelize the
+// validation phase" (§4.3 "Distributed Validation") — there is no global
+// critical section: validation uses per-tuple latches and version words
+// only.
+//
+// Per-tuple metadata is a version word (wts<<1 | lockbit) published
+// through a runtime counter, plus a latch that serializes writers during
+// the install phase. The paper charges OCC two timestamp allocations per
+// transaction (start and validation; §5.1: "OCC hits the bottleneck even
+// earlier since it needs to allocate timestamps twice per transaction"),
+// and so do we.
+//
+// Commit protocol (deadlock-free):
+//  1. latch the write set in canonical (table, slot) order, marking each
+//     version word locked;
+//  2. validate the read set: each observed version word must be unchanged
+//     and unlocked (or locked by this transaction);
+//  3. allocate the commit timestamp, install buffered writes, publish new
+//     version words, release latches.
+package occ
+
+import (
+	"sort"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/costs"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/storage"
+	"abyss1000/internal/tsalloc"
+)
+
+// entry is per-tuple metadata: the writer latch and the version word.
+type entry struct {
+	latch rt.Latch
+	word  rt.Counter // wts<<1 | lockbit
+}
+
+// readRec records one read-set element.
+type readRec struct {
+	t    *storage.Table
+	slot int
+	word uint64 // version word observed at read time
+	buf  []byte // private copy (repeatable reads without locks)
+}
+
+// writeRec is one buffered write.
+type writeRec struct {
+	t    *storage.Table
+	slot int
+	buf  []byte
+}
+
+// txnState is the reusable per-worker transaction state.
+type txnState struct {
+	reads  []readRec
+	writes []writeRec
+}
+
+// OCC is the optimistic scheme.
+type OCC struct {
+	method tsalloc.Method
+	db     *core.DB
+	alloc  tsalloc.Allocator
+	meta   [][]entry
+
+	// centralWanted selects the ablation mode; central is the latch,
+	// created at Setup. When set, the whole validation phase serializes
+	// through one critical section — the original Kung-Robinson
+	// structure the paper contrasts with its parallelized validation
+	// ("any mutex-protected critical section severely hurts
+	// scalability", §4.3). Used by the validation ablation benchmark.
+	centralWanted bool
+	central       rt.Latch
+}
+
+// New creates an OCC scheme with parallel per-tuple validation (the
+// paper's Hekaton-style design), drawing timestamps via method m.
+func New(m tsalloc.Method) *OCC { return &OCC{method: m} }
+
+// NewCentral creates the ablation baseline: identical OCC except commits
+// serialize through a single global validation critical section, as in
+// the original algorithm.
+func NewCentral(m tsalloc.Method) *OCC { return &OCC{method: m, centralWanted: true} }
+
+// Name implements core.Scheme.
+func (s *OCC) Name() string {
+	if s.centralWanted {
+		return "OCC_CENTRAL"
+	}
+	return "OCC"
+}
+
+// Setup implements core.Scheme.
+func (s *OCC) Setup(db *core.DB) {
+	s.db = db
+	s.alloc = tsalloc.New(s.method, db.RT)
+	if s.centralWanted {
+		s.central = db.RT.NewLatch(0x0CC_CE117A1)
+	}
+	tables := db.Catalog.Tables()
+	s.meta = make([][]entry, len(tables))
+	for _, t := range tables {
+		entries := make([]entry, t.Capacity())
+		for i := range entries {
+			key := uint64(t.ID)<<44 | 0x0C<<36 | uint64(i)
+			entries[i].latch = db.RT.NewLatch(key)
+			entries[i].word = db.RT.NewCounter(key | 1<<35)
+		}
+		s.meta[t.ID] = entries
+	}
+}
+
+// NewTxnState implements core.Scheme.
+func (s *OCC) NewTxnState(w *core.Worker) interface{} { return &txnState{} }
+
+// Begin implements core.Scheme: OCC allocates its first timestamp at
+// transaction start.
+func (s *OCC) Begin(tx *core.TxnCtx) {
+	st := tx.State.(*txnState)
+	st.reads = st.reads[:0]
+	st.writes = st.writes[:0]
+	tx.TS = s.alloc.Next(tx.P)
+	tx.P.Tick(stats.Manager, costs.ManagerOp)
+}
+
+func (s *OCC) entryOf(t *storage.Table, slot int) *entry {
+	return &s.meta[t.ID][slot]
+}
+
+func (st *txnState) findWrite(t *storage.Table, slot int) *writeRec {
+	for i := range st.writes {
+		if st.writes[i].t == t && st.writes[i].slot == slot {
+			return &st.writes[i]
+		}
+	}
+	return nil
+}
+
+func (st *txnState) findRead(t *storage.Table, slot int) *readRec {
+	for i := range st.reads {
+		if st.reads[i].t == t && st.reads[i].slot == slot {
+			return &st.reads[i]
+		}
+	}
+	return nil
+}
+
+// snapshot copies (t, slot) into a private buffer under the tuple latch
+// and records the version word observed.
+func (s *OCC) snapshot(tx *core.TxnCtx, t *storage.Table, slot int) readRec {
+	e := s.entryOf(t, slot)
+	n := t.Schema.RowSize()
+	buf := tx.Alloc.Alloc(tx.P, stats.Manager, n)
+	e.latch.Acquire(tx.P, stats.Manager)
+	word := e.word.Load(tx.P, stats.Manager)
+	tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(n))
+	copy(buf, t.Row(slot))
+	tx.P.Tick(stats.Manager, costs.CopyCost(uint64(n)))
+	e.latch.Release(tx.P, stats.Manager)
+	return readRec{t: t, slot: slot, word: word, buf: buf}
+}
+
+// Read implements core.Scheme: copy into the private workspace, record the
+// read set entry. Never blocks, never aborts — conflicts surface at
+// validation.
+func (s *OCC) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
+	st := tx.State.(*txnState)
+	if w := st.findWrite(t, slot); w != nil {
+		return w.buf, nil
+	}
+	if r := st.findRead(t, slot); r != nil {
+		return r.buf, nil
+	}
+	rec := s.snapshot(tx, t, slot)
+	st.reads = append(st.reads, rec)
+	return rec.buf, nil
+}
+
+// Write implements core.Scheme: buffer the write privately. The implicit
+// read (fn may RMW) joins the read set so validation catches conflicts.
+func (s *OCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+	st := tx.State.(*txnState)
+	if w := st.findWrite(t, slot); w != nil {
+		fn(w.buf)
+		tx.P.Tick(stats.Useful, costs.CopyCost(uint64(len(w.buf))))
+		return nil
+	}
+	var buf []byte
+	if r := st.findRead(t, slot); r != nil {
+		buf = r.buf // promote: the read copy becomes the write buffer
+	} else {
+		rec := s.snapshot(tx, t, slot)
+		st.reads = append(st.reads, rec)
+		buf = rec.buf
+	}
+	fn(buf)
+	st.writes = append(st.writes, writeRec{t: t, slot: slot, buf: buf})
+	return nil
+}
+
+// Commit implements core.Scheme: parallel per-tuple validation (or, in
+// the OCC_CENTRAL ablation, the same protocol inside one global critical
+// section).
+func (s *OCC) Commit(tx *core.TxnCtx) error {
+	st := tx.State.(*txnState)
+	if len(st.writes) == 0 && len(st.reads) == 0 {
+		return nil
+	}
+	if s.central != nil {
+		s.central.Acquire(tx.P, stats.Manager)
+		defer s.central.Release(tx.P, stats.Manager)
+	}
+
+	// Phase 1: lock the write set in canonical order.
+	sort.Slice(st.writes, func(i, j int) bool {
+		a, b := &st.writes[i], &st.writes[j]
+		if a.t.ID != b.t.ID {
+			return a.t.ID < b.t.ID
+		}
+		return a.slot < b.slot
+	})
+	for i := range st.writes {
+		w := &st.writes[i]
+		e := s.entryOf(w.t, w.slot)
+		e.latch.Acquire(tx.P, stats.Manager)
+		word := e.word.Load(tx.P, stats.Manager)
+		e.word.Store(tx.P, stats.Manager, word|1)
+	}
+
+	// Phase 2: validate the read set against current version words.
+	ok := true
+	for i := range st.reads {
+		r := &st.reads[i]
+		e := s.entryOf(r.t, r.slot)
+		cur := e.word.Load(tx.P, stats.Manager)
+		if st.findWrite(r.t, r.slot) != nil {
+			// We hold this tuple's latch; valid iff unchanged since
+			// our read (modulo our own lock bit).
+			if cur != r.word|1 {
+				ok = false
+				break
+			}
+			continue
+		}
+		if cur != r.word {
+			ok = false
+			break
+		}
+	}
+
+	if !ok {
+		// Unlock and fail; Abort discards the workspace.
+		for i := range st.writes {
+			w := &st.writes[i]
+			e := s.entryOf(w.t, w.slot)
+			word := e.word.Load(tx.P, stats.Abort)
+			e.word.Store(tx.P, stats.Abort, word&^1)
+			e.latch.Release(tx.P, stats.Abort)
+		}
+		return core.ErrAbort
+	}
+
+	// Phase 3: the second timestamp allocation (the paper charges OCC
+	// two per transaction), then install.
+	commitTS := s.alloc.Next(tx.P)
+	for i := range st.writes {
+		w := &st.writes[i]
+		e := s.entryOf(w.t, w.slot)
+		copy(w.t.Row(w.slot), w.buf)
+		tx.P.MemWrite(stats.Useful, w.t.MemKey(w.slot), uint64(len(w.buf)))
+		e.word.Store(tx.P, stats.Manager, commitTS<<1)
+		e.latch.Release(tx.P, stats.Manager)
+	}
+	return nil
+}
+
+// Abort implements core.Scheme: the workspace is private; nothing to undo.
+func (s *OCC) Abort(tx *core.TxnCtx) {
+	st := tx.State.(*txnState)
+	st.reads = st.reads[:0]
+	st.writes = st.writes[:0]
+	tx.P.Tick(stats.Abort, costs.ManagerOp)
+}
+
+// InitTuple implements core.Scheme: version word zero (wts 0, unlocked) is
+// already correct for fresh tuples.
+func (s *OCC) InitTuple(tx *core.TxnCtx, t *storage.Table, slot int) {}
+
+var _ core.Scheme = (*OCC)(nil)

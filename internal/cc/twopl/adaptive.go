@@ -1,0 +1,84 @@
+package twopl
+
+import (
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+)
+
+// Adaptive mode implements the hybrid the paper proposes in §6.1: "a DBMS
+// could use DL_DETECT for workloads with little contention, but switch to
+// NO_WAIT or a T/O-based algorithm when transactions are taking too long
+// to finish due to thrashing."
+//
+// Both variants share the same per-tuple lock queues, so the switch is a
+// pure policy change on the conflict path: each worker samples its own
+// time breakdown every adaptEpoch transactions and chooses the
+// non-waiting policy whenever waiting consumed more than adaptWaitShare
+// of the window — i.e., when it is observably thrashing.
+
+const (
+	// adaptEpoch is how many transaction attempts a worker runs between
+	// policy re-evaluations. Thrashing workers complete few
+	// transactions, so the epoch must be short for the switch to
+	// trigger inside a measurement window.
+	adaptEpoch = 4
+
+	// adaptWaitShare is the windowed WAIT fraction beyond which a
+	// worker flips from waiting (DL_DETECT) to aborting (NO_WAIT).
+	adaptWaitShare = 0.4
+)
+
+// adaptState is the per-worker controller.
+type adaptState struct {
+	txns      uint64
+	lastWait  uint64
+	lastTotal uint64
+	noWait    bool
+}
+
+// NewAdaptive creates the §6.1 hybrid scheme ("ADAPTIVE"): DL_DETECT
+// under low contention, NO_WAIT under thrashing, decided per worker from
+// its measured wait share.
+func NewAdaptive(opts Options) *TwoPL {
+	if opts.Timeout == 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	return &TwoPL{variant: Adaptive, opts: opts}
+}
+
+// adaptTick refreshes the controller's breakdown snapshot every
+// adaptEpoch transaction attempts, bounding the window the conflict-time
+// decision looks at.
+func (s *TwoPL) adaptTick(p rt.Proc, st *txnState) {
+	a := &s.adapt[p.ID()]
+	a.txns++
+	if a.txns%adaptEpoch != 0 {
+		return
+	}
+	bd := p.Stats()
+	a.lastWait = bd.Get(stats.Wait)
+	a.lastTotal = bd.Total()
+}
+
+// adaptiveNoWait decides the worker's policy at conflict time from the
+// wait share accumulated since the last snapshot. Deciding per conflict
+// (rather than per transaction) matters: a thrashing worker can sit
+// inside one attempt for the whole epoch, and its mounting WAIT time must
+// flip the policy mid-attempt.
+func (s *TwoPL) adaptiveNoWait(p rt.Proc) bool {
+	a := &s.adapt[p.ID()]
+	bd := p.Stats()
+	wait := bd.Get(stats.Wait)
+	total := bd.Total()
+	if wait < a.lastWait || total < a.lastTotal {
+		// The engine reset the breakdown at the warmup boundary.
+		a.lastWait, a.lastTotal = wait, total
+		return false
+	}
+	dWait := wait - a.lastWait
+	dTotal := total - a.lastTotal
+	if dTotal < 1000 {
+		return false // too little evidence in this window
+	}
+	return float64(dWait)/float64(dTotal) > adaptWaitShare
+}

@@ -1,0 +1,69 @@
+package twopl_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/cc/twopl"
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/workload/ycsb"
+)
+
+func runAdaptive(t *testing.T, theta float64, mk func() core.Scheme) core.Result {
+	t.Helper()
+	eng := sim.New(16, 3)
+	db := core.NewDB(eng)
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = 4096
+	cfg.FieldSize = 20
+	cfg.Theta = theta
+	wl := ycsb.Build(db, cfg)
+	return core.Run(db, mk(), wl, core.Config{
+		WarmupCycles:  100_000,
+		MeasureCycles: 600_000,
+		AbortBackoff:  500,
+	})
+}
+
+func TestAdaptiveName(t *testing.T) {
+	if got := twopl.NewAdaptive(twopl.Options{}).Name(); got != "ADAPTIVE" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+// TestAdaptiveTracksBetterIngredient: the §6.1 hybrid must never fall
+// meaningfully below DL_DETECT (its low-contention ingredient) at low
+// skew, and must beat DL_DETECT under thrashing by switching to
+// non-waiting conflict handling.
+func TestAdaptiveTracksBetterIngredient(t *testing.T) {
+	mkA := func() core.Scheme { return twopl.NewAdaptive(twopl.Options{}) }
+	mkD := func() core.Scheme { return twopl.New(twopl.DLDetect, twopl.Options{}) }
+
+	low := runAdaptive(t, 0, mkA)
+	lowD := runAdaptive(t, 0, mkD)
+	if low.Throughput() < 0.8*lowD.Throughput() {
+		t.Fatalf("adaptive at theta=0: %.0f txn/s vs DL_DETECT %.0f — hybrid hurts the easy case",
+			low.Throughput(), lowD.Throughput())
+	}
+
+	hi := runAdaptive(t, 0.8, mkA)
+	hiD := runAdaptive(t, 0.8, mkD)
+	if hi.Throughput() < hiD.Throughput() {
+		t.Fatalf("adaptive at theta=0.8: %.0f txn/s vs DL_DETECT %.0f — controller never switched",
+			hi.Throughput(), hiD.Throughput())
+	}
+	// Switching implies aborting instead of waiting: the hybrid must
+	// actually abort under thrashing.
+	if hi.Aborts == 0 {
+		t.Fatal("adaptive recorded no aborts at theta=0.8: NO_WAIT policy never engaged")
+	}
+}
+
+// TestAdaptiveSerializable: the hybrid still produces correct histories
+// (it only changes conflict policy, never locking discipline).
+func TestAdaptiveSerializable(t *testing.T) {
+	res := runAdaptive(t, 0.8, func() core.Scheme { return twopl.NewAdaptive(twopl.Options{}) })
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}

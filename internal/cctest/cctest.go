@@ -1,0 +1,71 @@
+// Package cctest provides the scripted-transaction harness the
+// concurrency-control scheme unit tests share: a tiny counter database on
+// a simulated chip and a Txn whose body is a closure, so tests can stage
+// precise interleavings with deterministic simulated timing.
+package cctest
+
+import (
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/storage"
+)
+
+// Txn is a scripted transaction.
+type Txn struct {
+	Body  func(tx *core.TxnCtx) error
+	Parts []int
+}
+
+// Run implements core.Txn.
+func (t *Txn) Run(tx *core.TxnCtx) error { return t.Body(tx) }
+
+// Partitions implements core.Txn.
+func (t *Txn) Partitions() []int { return t.Parts }
+
+// Fixture is a populated single-table database on a simulated chip.
+type Fixture struct {
+	Engine *sim.Engine
+	DB     *core.DB
+	Table  *storage.Table
+}
+
+// NewFixture builds a `rows`-counter table (col 0 key, col 1 value, both
+// 8 bytes) on a `cores`-core simulator.
+func NewFixture(cores, rows int, seed int64) *Fixture {
+	eng := sim.New(cores, seed)
+	db := core.NewDB(eng)
+	schema := storage.NewSchema("C",
+		storage.Col{Name: "KEY", Width: 8},
+		storage.Col{Name: "VAL", Width: 8},
+	)
+	tab := db.Catalog.Add(schema, rows+64, rows, cores)
+	idx := db.AddIndex("C_PK", tab, rows)
+	for i := 0; i < rows; i++ {
+		schema.PutU64(tab.LoadRow(i), 0, uint64(i))
+		idx.LoadInsert(uint64(i), i)
+	}
+	return &Fixture{Engine: eng, DB: db, Table: tab}
+}
+
+// Get reads counter slot's value directly from the slab (valid for
+// slab-updating schemes at quiescence).
+func (f *Fixture) Get(slot int) uint64 {
+	return f.Table.Schema.GetU64(f.Table.Row(slot), 1)
+}
+
+// Bump returns a Txn body op incrementing slot by delta.
+func (f *Fixture) Bump(tx *core.TxnCtx, slot int, delta uint64) error {
+	sc := f.Table.Schema
+	return tx.Update(f.Table, slot, func(row []byte) {
+		sc.PutU64(row, 1, sc.GetU64(row, 1)+delta)
+	})
+}
+
+// ReadVal reads slot's value through the scheme.
+func (f *Fixture) ReadVal(tx *core.TxnCtx, slot int) (uint64, error) {
+	row, err := tx.Read(f.Table, slot)
+	if err != nil {
+		return 0, err
+	}
+	return f.Table.Schema.GetU64(row, 1), nil
+}

@@ -1,0 +1,105 @@
+// Package core implements the lightweight main-memory DBMS of §3.2: a
+// row-store with hash indexes, a pluggable concurrency-control interface,
+// one worker thread per core pulling transactions from a per-worker queue,
+// and time-breakdown accounting over the six components the paper reports.
+//
+// The engine deliberately contains only what the experiments need — the
+// paper's own justification: "we can ensure that no other bottlenecks
+// exist other than concurrency control."
+package core
+
+import (
+	"errors"
+
+	"abyss1000/internal/index"
+	"abyss1000/internal/mem"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/storage"
+)
+
+// ErrAbort is returned by scheme operations when the transaction must be
+// aborted due to a concurrency-control conflict. The engine rolls the
+// transaction back and restarts it (after a randomized backoff).
+var ErrAbort = errors.New("core: transaction aborted by concurrency control")
+
+// ErrUserAbort is returned by transaction logic to request a rollback (the
+// paper: TPC-C transactions "can also abort because of certain conditions
+// in their program logic"). Per the TPC-C specification such rollbacks are
+// completed work: the engine rolls back but does not restart.
+var ErrUserAbort = errors.New("core: transaction aborted by program logic")
+
+// DB is a database instance bound to a runtime: catalog, indexes and
+// configuration shared by all workers.
+type DB struct {
+	RT      rt.Runtime
+	Catalog *storage.Catalog
+	indexes map[string]*index.Hash
+
+	// NParts is the number of H-STORE partitions (always the worker
+	// count, as in the paper's experiments).
+	NParts int
+
+	// GlobalAlloc, when non-nil, replaces the per-worker arenas with the
+	// centralized allocator (the §4.1 malloc ablation).
+	GlobalAlloc *mem.GlobalPool
+}
+
+// NewDB creates an empty database on r.
+func NewDB(r rt.Runtime) *DB {
+	return &DB{
+		RT:      r,
+		Catalog: storage.NewCatalog(),
+		indexes: make(map[string]*index.Hash),
+		NParts:  r.NumProcs(),
+	}
+}
+
+// AddIndex builds and registers a hash index named name over t.
+func (db *DB) AddIndex(name string, t *storage.Table, minBuckets int) *index.Hash {
+	h := index.New(db.RT, t, minBuckets)
+	db.indexes[name] = h
+	return h
+}
+
+// Index returns the named index, or panics (missing indexes are
+// programming errors in workload definitions).
+func (db *DB) Index(name string) *index.Hash {
+	h, ok := db.indexes[name]
+	if !ok {
+		panic("core: no index " + name)
+	}
+	return h
+}
+
+// Txn is one transaction: program logic intermixed with query invocations
+// (§3.2), executed serially by its worker.
+type Txn interface {
+	// Run executes the transaction body against tx. It returns nil to
+	// commit, ErrUserAbort to roll back, or propagates ErrAbort from the
+	// scheme.
+	Run(tx *TxnCtx) error
+
+	// Partitions returns the sorted set of partitions the transaction
+	// will access, which H-STORE requires to be known up front (§2.2).
+	// Schemes other than H-STORE ignore it; implementations may return
+	// nil for them.
+	Partitions() []int
+}
+
+// Workload generates each worker's transaction stream. Implementations
+// keep per-worker state indexed by Proc ID so that Next is cheap and
+// deterministic per worker.
+type Workload interface {
+	// Next returns the next transaction for worker p. The returned Txn
+	// is owned by the worker until it commits (implementations may reuse
+	// one object per worker).
+	Next(p rt.Proc) Txn
+}
+
+// CommitHook is an optional interface for Txn: when implemented, the
+// engine invokes Committed exactly once after the transaction commits
+// (not after a program-logic rollback). The verification workloads in
+// internal/history use it to log precisely the committed histories.
+type CommitHook interface {
+	Committed()
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+)
+
+// Config controls one experiment run.
+type Config struct {
+	// WarmupCycles is discarded ramp-up time: statistics and counters
+	// reset once a worker's clock passes it (§3.2: statistics "are
+	// collected after a warm-up period").
+	WarmupCycles uint64
+
+	// MeasureCycles is the measurement window after warmup. Throughput
+	// is commits / (MeasureCycles / frequency).
+	MeasureCycles uint64
+
+	// AbortBackoff is the mean randomized restart penalty after a CC
+	// abort, in cycles. Zero disables backoff.
+	AbortBackoff uint64
+}
+
+// DefaultConfig returns a window sized for quick experiments: 0.4 ms of
+// simulated warmup and 1.6 ms of measurement.
+func DefaultConfig() Config {
+	return Config{
+		WarmupCycles:  400_000,
+		MeasureCycles: 1_600_000,
+		AbortBackoff:  1000,
+	}
+}
+
+// Result aggregates one run.
+type Result struct {
+	Scheme        string
+	Workers       int
+	Commits       uint64
+	Aborts        uint64
+	Tuples        uint64
+	MeasureCycles uint64
+	Frequency     float64
+	Breakdown     stats.Breakdown
+}
+
+// Throughput returns committed transactions per second.
+func (r Result) Throughput() float64 {
+	return float64(r.Commits) / (float64(r.MeasureCycles) / r.Frequency)
+}
+
+// TuplesPerSec returns committed tuple accesses per second (Fig. 12's
+// y-axis: "the number of tuples accessed per second").
+func (r Result) TuplesPerSec() float64 {
+	return float64(r.Tuples) / (float64(r.MeasureCycles) / r.Frequency)
+}
+
+// AbortFraction returns aborted attempts / all attempts.
+func (r Result) AbortFraction() float64 {
+	total := r.Commits + r.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(r.Aborts) / float64(total)
+}
+
+// AbortsPerSec returns the abort rate as events per second (Fig. 5's right
+// axis reports an absolute abort rate).
+func (r Result) AbortsPerSec() float64 {
+	return float64(r.Aborts) / (float64(r.MeasureCycles) / r.Frequency)
+}
+
+// String summarizes the run on one line.
+func (r Result) String() string {
+	return fmt.Sprintf("%-10s %4d cores  %10.0f txn/s  abort %5.1f%%  [%s]",
+		r.Scheme, r.Workers, r.Throughput(), r.AbortFraction()*100, stats.FormatBreakdown(&r.Breakdown))
+}
+
+// Run executes workload wl on db under scheme, measuring for cfg's window,
+// and returns the aggregated result. The database must already be
+// populated; Run calls scheme.Setup, spawns one worker per core, and drives
+// each worker's transaction stream until the simulated (or wall-clock)
+// deadline passes.
+func Run(db *DB, scheme Scheme, wl Workload, cfg Config) Result {
+	scheme.Setup(db)
+	n := db.RT.NumProcs()
+	workers := make([]*Worker, n)
+	db.RT.Run(func(p rt.Proc) {
+		w := newWorker(p, db, scheme)
+		workers[p.ID()] = w
+		warmEnd := cfg.WarmupCycles
+		end := warmEnd + cfg.MeasureCycles
+		resetDone := false
+		for {
+			now := p.Now()
+			if now >= end {
+				break
+			}
+			if !resetDone && now >= warmEnd {
+				p.Stats().Reset()
+				w.Count = stats.Counters{}
+				resetDone = true
+			}
+			w.runTxn(wl.Next(p), warmEnd, end, cfg.AbortBackoff)
+		}
+	})
+
+	res := Result{
+		Scheme:        scheme.Name(),
+		Workers:       n,
+		MeasureCycles: cfg.MeasureCycles,
+		Frequency:     db.RT.Frequency(),
+	}
+	for _, w := range workers {
+		res.Commits += w.Count.Commits
+		res.Aborts += w.Count.Aborts
+		res.Tuples += w.Count.Tuples
+		res.Breakdown.Merge(w.P.Stats())
+	}
+	return res
+}

@@ -1,0 +1,119 @@
+package core_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/cc/hstore"
+	"abyss1000/internal/cc/mvcc"
+	"abyss1000/internal/cc/occ"
+	"abyss1000/internal/cc/to"
+	"abyss1000/internal/cc/twopl"
+	"abyss1000/internal/core"
+	"abyss1000/internal/native"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+func allSchemes() map[string]func() core.Scheme {
+	return map[string]func() core.Scheme{
+		"DL_DETECT": func() core.Scheme { return twopl.New(twopl.DLDetect, twopl.Options{}) },
+		"NO_WAIT":   func() core.Scheme { return twopl.New(twopl.NoWait, twopl.Options{}) },
+		"WAIT_DIE":  func() core.Scheme { return twopl.New(twopl.WaitDie, twopl.Options{}) },
+		"TIMESTAMP": func() core.Scheme { return to.New(tsalloc.Atomic) },
+		"MVCC":      func() core.Scheme { return mvcc.New(tsalloc.Atomic) },
+		"OCC":       func() core.Scheme { return occ.New(tsalloc.Atomic) },
+	}
+}
+
+func smokeConfig() ycsb.Config {
+	cfg := ycsb.DefaultConfig()
+	cfg.Rows = 4096
+	cfg.FieldSize = 20
+	cfg.Theta = 0.6
+	return cfg
+}
+
+func runSim(t *testing.T, cores int, mk func() core.Scheme, ycfg ycsb.Config, ccfg core.Config) core.Result {
+	t.Helper()
+	eng := sim.New(cores, 7)
+	db := core.NewDB(eng)
+	wl := ycsb.Build(db, ycfg)
+	return core.Run(db, mk(), wl, ccfg)
+}
+
+func TestSchemesSmokeSim(t *testing.T) {
+	ccfg := core.Config{WarmupCycles: 100_000, MeasureCycles: 500_000, AbortBackoff: 500}
+	for name, mk := range allSchemes() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			res := runSim(t, 8, mk, smokeConfig(), ccfg)
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing: %+v", name, res)
+			}
+			t.Logf("%s", res.String())
+		})
+	}
+}
+
+func TestHStoreSmokeSim(t *testing.T) {
+	ycfg := smokeConfig()
+	ycfg.Partitioned = true
+	ycfg.MPFraction = 0.2
+	ycfg.MPParts = 2
+	ccfg := core.Config{WarmupCycles: 100_000, MeasureCycles: 500_000, AbortBackoff: 500}
+	res := runSim(t, 8, func() core.Scheme { return hstore.New(tsalloc.Atomic) }, ycfg, ccfg)
+	if res.Commits == 0 {
+		t.Fatalf("HSTORE committed nothing: %+v", res)
+	}
+	if res.Aborts != 0 {
+		t.Fatalf("HSTORE must not have CC aborts on YCSB, got %d", res.Aborts)
+	}
+	t.Logf("%s", res.String())
+}
+
+func TestSchemesDeterministicSim(t *testing.T) {
+	ccfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 300_000, AbortBackoff: 500}
+	for name, mk := range allSchemes() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			a := runSim(t, 4, mk, smokeConfig(), ccfg)
+			b := runSim(t, 4, mk, smokeConfig(), ccfg)
+			if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Tuples != b.Tuples {
+				t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+func TestSchemesSmokeNative(t *testing.T) {
+	ccfg := core.Config{WarmupCycles: 2_000_000, MeasureCycles: 20_000_000, AbortBackoff: 500} // ns
+	for name, mk := range allSchemes() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			rtm := native.New(4, 7)
+			db := core.NewDB(rtm)
+			wl := ycsb.Build(db, smokeConfig())
+			res := core.Run(db, mk(), wl, ccfg)
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing natively", name)
+			}
+		})
+	}
+}
+
+func TestReadOnlyNoAborts2PL(t *testing.T) {
+	ycfg := smokeConfig()
+	ycfg.ReadPct = 1.0
+	ccfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 300_000}
+	res := runSim(t, 8, func() core.Scheme { return twopl.New(twopl.DLDetect, twopl.Options{}) }, ycfg, ccfg)
+	if res.Aborts != 0 {
+		t.Fatalf("read-only workload should not abort under 2PL, got %d aborts", res.Aborts)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}
+
+var _ = rt.Proc(nil)

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"abyss1000/internal/costs"
+	"abyss1000/internal/index"
+	"abyss1000/internal/mem"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/storage"
+)
+
+// Scheme is the pluggable concurrency-control interface (§3.2: "a pluggable
+// lock manager that allows us to swap in the different implementations of
+// the concurrency control schemes"). One Scheme instance serves a whole DB;
+// per-transaction state lives in the object returned by NewTxnState, which
+// is allocated once per worker and reused.
+type Scheme interface {
+	// Name returns the paper's name for the scheme (e.g. "DL_DETECT").
+	Name() string
+
+	// Setup attaches per-tuple metadata to every table in db. Called
+	// once, after the workload has populated the database.
+	Setup(db *DB)
+
+	// NewTxnState allocates the reusable per-worker transaction state.
+	NewTxnState(w *Worker) interface{}
+
+	// Begin starts a transaction: reset per-txn state, allocate a
+	// timestamp if the scheme needs one.
+	Begin(tx *TxnCtx)
+
+	// Read returns a readable image of (t, slot): the live row for
+	// locking schemes, a private copy for T/O and OCC, a version for
+	// MVCC. It may return ErrAbort.
+	Read(tx *TxnCtx, t *storage.Table, slot int) ([]byte, error)
+
+	// Write declares a write of (t, slot) and applies fn to the target
+	// buffer (the live row under 2PL after undo capture; a workspace or
+	// version buffer under T/O schemes). fn may read the buffer's prior
+	// contents, so read-modify-write needs no separate lock upgrade.
+	Write(tx *TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error
+
+	// Commit finalizes the transaction (validation, applying buffered
+	// writes, releasing locks). On error the engine calls Abort.
+	Commit(tx *TxnCtx) error
+
+	// Abort rolls back (undo in-place writes, discard buffers, release
+	// locks, remove pending versions). Must be callable after any
+	// partial execution, including after a failed Commit.
+	Abort(tx *TxnCtx)
+
+	// InitTuple initializes CC metadata for a freshly inserted tuple
+	// (applied at commit by the engine's deferred-insert protocol).
+	InitTuple(tx *TxnCtx, t *storage.Table, slot int)
+}
+
+// insertRec is a staged insert: the row image is buffered privately and
+// applied at commit, so uncommitted inserts are never visible and aborts
+// simply drop the staging (the engine's deferred-insert protocol).
+type insertRec struct {
+	idx  *index.Hash
+	key  uint64
+	buf  []byte
+	part int
+}
+
+// TxnCtx is the per-worker transaction context handed to Txn.Run. It is
+// reused across transactions to avoid allocation churn.
+type TxnCtx struct {
+	P  rt.Proc
+	W  *Worker
+	DB *DB
+
+	// TS is the transaction's timestamp, when the scheme allocates one.
+	TS uint64
+
+	// Txn is the transaction being executed (set by the engine before
+	// Begin; H-STORE reads Partitions from it).
+	Txn Txn
+
+	// State is the scheme's per-transaction state (from NewTxnState).
+	State interface{}
+
+	// Alloc provides transaction-lifetime buffers, bulk-freed at
+	// transaction end.
+	Alloc mem.Allocator
+
+	inserts []insertRec
+	tuples  uint64
+}
+
+func (tx *TxnCtx) reset() {
+	tx.inserts = tx.inserts[:0]
+	tx.tuples = 0
+	tx.TS = 0
+	tx.Alloc.Reset()
+}
+
+// Lookup probes idx for key. Index time (probe + bucket latch) is billed
+// to the INDEX component.
+func (tx *TxnCtx) Lookup(idx *index.Hash, key uint64) (int, bool) {
+	return idx.Lookup(tx.P, key)
+}
+
+// Read returns a readable row image for (t, slot) via the scheme.
+func (tx *TxnCtx) Read(t *storage.Table, slot int) ([]byte, error) {
+	tx.tuples++
+	row, err := tx.W.Scheme.Read(tx, t, slot)
+	if err != nil {
+		return nil, err
+	}
+	tx.P.Tick(stats.Useful, costs.UsefulPerRow)
+	return row, nil
+}
+
+// Update declares a write on (t, slot) and runs fn against the scheme's
+// target buffer. fn may read-modify-write.
+func (tx *TxnCtx) Update(t *storage.Table, slot int, fn func(row []byte)) error {
+	tx.tuples++
+	if err := tx.W.Scheme.Write(tx, t, slot, fn); err != nil {
+		return err
+	}
+	tx.P.Tick(stats.Useful, costs.UsefulPerRow)
+	return nil
+}
+
+// Insert stages a new row for idx's table under key; fill populates the
+// private staging buffer. The row becomes visible atomically at commit.
+func (tx *TxnCtx) Insert(idx *index.Hash, key uint64, fill func(row []byte)) {
+	tx.tuples++
+	t := idx.Table()
+	buf := tx.Alloc.Alloc(tx.P, stats.Useful, t.Schema.RowSize())
+	fill(buf)
+	tx.P.Tick(stats.Useful, costs.UsefulPerRow+costs.CopyCost(uint64(len(buf))))
+	tx.inserts = append(tx.inserts, insertRec{idx: idx, key: key, buf: buf})
+}
+
+// applyInserts materializes staged inserts after a successful Commit.
+func (tx *TxnCtx) applyInserts() {
+	for i := range tx.inserts {
+		rec := &tx.inserts[i]
+		t := rec.idx.Table()
+		slot := t.AllocSlot(tx.P.ID())
+		if slot < 0 {
+			panic("core: table " + t.Schema.Name + " insert segment exhausted; raise capacity")
+		}
+		copy(t.Row(slot), rec.buf)
+		tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(len(rec.buf)))
+		tx.W.Scheme.InitTuple(tx, t, slot)
+		rec.idx.Insert(tx.P, rec.key, slot)
+	}
+}

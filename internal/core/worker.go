@@ -1,0 +1,123 @@
+package core
+
+import (
+	"abyss1000/internal/costs"
+	"abyss1000/internal/mem"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+)
+
+// Worker is one worker thread pinned to one core (§3.2: "the number of
+// worker threads equal to the number of cores").
+type Worker struct {
+	P      rt.Proc
+	DB     *DB
+	Scheme Scheme
+	Ctx    TxnCtx
+	Count  stats.Counters
+}
+
+// NewWorker constructs a worker bound to proc p, for callers that drive
+// transactions themselves (scheme unit tests, external harnesses). The
+// engine's Run builds its own workers.
+func NewWorker(p rt.Proc, db *DB, scheme Scheme) *Worker {
+	return newWorker(p, db, scheme)
+}
+
+// ExecOnce runs a single attempt of txn — Begin, body, Commit (applying
+// staged inserts) — and returns ErrAbort without retrying, rolling the
+// transaction back first. It gives tests and external drivers per-attempt
+// control that the engine's retry loop hides.
+func (w *Worker) ExecOnce(txn Txn) error {
+	w.Ctx.reset()
+	w.Ctx.Txn = txn
+	w.Scheme.Begin(&w.Ctx)
+	err := txn.Run(&w.Ctx)
+	if err == nil {
+		err = w.Scheme.Commit(&w.Ctx)
+		if err == nil {
+			w.Ctx.applyInserts()
+			if h, ok := txn.(CommitHook); ok {
+				h.Committed()
+			}
+			return nil
+		}
+	}
+	w.Scheme.Abort(&w.Ctx)
+	return err
+}
+
+func newWorker(p rt.Proc, db *DB, scheme Scheme) *Worker {
+	w := &Worker{P: p, DB: db, Scheme: scheme}
+	var alloc mem.Allocator
+	if db.GlobalAlloc != nil {
+		alloc = db.GlobalAlloc.Bound()
+	} else {
+		alloc = mem.NewArena(16 * 1024)
+	}
+	w.Ctx = TxnCtx{P: p, W: w, DB: db, Alloc: alloc}
+	w.Ctx.State = scheme.NewTxnState(w)
+	return w
+}
+
+// runTxn executes txn to commit or user-abort, restarting on CC aborts,
+// and updates counters for work completed inside [warmEnd, end).
+func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
+	p := w.P
+	for {
+		if p.Now() >= end {
+			return
+		}
+		p.Stats().BeginAttempt()
+		w.Ctx.reset()
+		w.Ctx.Txn = txn
+		p.Tick(stats.Useful, costs.TxnSetup)
+		w.Scheme.Begin(&w.Ctx)
+
+		err := txn.Run(&w.Ctx)
+		if err == nil {
+			err = w.Scheme.Commit(&w.Ctx)
+			if err == nil {
+				w.Ctx.applyInserts()
+			}
+		}
+
+		now := p.Now()
+		inWindow := now >= warmEnd && now < end
+		switch err {
+		case nil:
+			p.Stats().CommitAttempt()
+			if inWindow {
+				w.Count.Commits++
+				w.Count.Tuples += w.Ctx.tuples
+			}
+			if h, ok := txn.(CommitHook); ok {
+				h.Committed()
+			}
+			return
+		case ErrUserAbort:
+			// Program-logic rollback: completed work per TPC-C.
+			w.Scheme.Abort(&w.Ctx)
+			p.Tick(stats.Abort, costs.AbortFixed)
+			p.Stats().CommitAttempt()
+			if inWindow {
+				w.Count.Commits++
+				w.Count.Tuples += w.Ctx.tuples
+			}
+			return
+		case ErrAbort:
+			w.Scheme.Abort(&w.Ctx)
+			p.Tick(stats.Abort, costs.AbortFixed)
+			p.Stats().AbortAttempt()
+			if inWindow {
+				w.Count.Aborts++
+			}
+			if backoff > 0 {
+				p.Tick(stats.Abort, uint64(p.Rand().Int63n(int64(2*backoff)))+1)
+			}
+			// Restart the same transaction.
+		default:
+			panic("core: transaction returned unexpected error: " + err.Error())
+		}
+	}
+}

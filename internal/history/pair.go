@@ -1,0 +1,105 @@
+package history
+
+import (
+	"abyss1000/internal/core"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/storage"
+)
+
+// PairObservation is a committed reader's view of one counter pair.
+type PairObservation struct {
+	Pair uint64
+	A, B uint64
+}
+
+// PairWorkload is the atomicity/isolation test: writers increment both
+// halves of a pair in one transaction; readers read both halves. In any
+// serializable execution a committed reader sees A == B.
+type PairWorkload struct {
+	db    *core.DB
+	table *storage.Table
+	pairs int
+
+	txns []pairTxn
+
+	// Observations[w] holds worker w's committed reader observations.
+	Observations [][]PairObservation
+}
+
+// NewPairWorkload builds the workload over `pairs` counter pairs.
+func NewPairWorkload(db *core.DB, pairs int) *PairWorkload {
+	w := &PairWorkload{
+		db:    db,
+		table: buildCounterTable(db, "PAIRS", pairs*2),
+		pairs: pairs,
+	}
+	np := db.RT.NumProcs()
+	w.txns = make([]pairTxn, np)
+	w.Observations = make([][]PairObservation, np)
+	for i := range w.txns {
+		w.txns[i] = pairTxn{wl: w}
+	}
+	return w
+}
+
+type pairTxn struct {
+	wl     *PairWorkload
+	worker int
+	pair   int
+	isRead bool
+	obs    PairObservation
+	parts  []int
+}
+
+// Next implements core.Workload.
+func (w *PairWorkload) Next(p rt.Proc) core.Txn {
+	t := &w.txns[p.ID()]
+	t.worker = p.ID()
+	t.pair = p.Rand().Intn(w.pairs)
+	t.isRead = p.Rand().Intn(2) == 0
+	t.parts = partitionsOf(t.parts[:0], []int{t.pair * 2, t.pair*2 + 1}, w.db.NParts)
+	return t
+}
+
+// Committed implements core.CommitHook: a committed reader's final-attempt
+// observation is a committed read.
+func (t *pairTxn) Committed() {
+	if t.isRead {
+		t.wl.Observations[t.worker] = append(t.wl.Observations[t.worker], t.obs)
+	}
+}
+
+// Run implements core.Txn.
+func (t *pairTxn) Run(tx *core.TxnCtx) error {
+	sc := t.wl.table.Schema
+	a, b := t.pair*2, t.pair*2+1
+	if t.isRead {
+		ra, err := tx.Read(t.wl.table, a)
+		if err != nil {
+			return err
+		}
+		va := sc.GetU64(ra, 1)
+		rb, err := tx.Read(t.wl.table, b)
+		if err != nil {
+			return err
+		}
+		vb := sc.GetU64(rb, 1)
+		t.obs = PairObservation{Pair: uint64(t.pair), A: va, B: vb}
+		return nil
+	}
+	for _, slot := range []int{a, b} {
+		if err := tx.Update(t.wl.table, slot, func(row []byte) {
+			sc.PutU64(row, 1, sc.GetU64(row, 1)+1)
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Partitions implements core.Txn.
+func (t *pairTxn) Partitions() []int { return t.parts }
+
+var _ core.Workload = (*PairWorkload)(nil)
+var _ core.Txn = (*pairTxn)(nil)
+var _ core.CommitHook = (*pairTxn)(nil)

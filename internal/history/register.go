@@ -1,0 +1,173 @@
+package history
+
+import (
+	"fmt"
+	"sort"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/storage"
+)
+
+// RegisterOp is one observed operation in a committed transaction.
+type RegisterOp struct {
+	Key   int
+	Value uint64 // value read, or unique value written
+	Write bool
+}
+
+// RegisterTxnLog is one committed transaction's trace.
+type RegisterTxnLog struct {
+	TS  uint64
+	Ops []RegisterOp
+}
+
+// RegisterWorkload writes globally unique values and logs every committed
+// transaction's reads and writes together with its timestamp. For
+// timestamp-ordered schemes the committed history must be view-equivalent
+// to executing the logged transactions serially in timestamp order —
+// CheckTimestampOrder verifies exactly that.
+type RegisterWorkload struct {
+	db    *core.DB
+	table *storage.Table
+	n     int
+	perTx int
+
+	txns []registerTxn
+
+	// Logs[w] holds worker w's committed transaction traces.
+	Logs [][]RegisterTxnLog
+}
+
+// NewRegisterWorkload builds the workload over n registers with perTx
+// operations per transaction (roughly half reads, half writes).
+func NewRegisterWorkload(db *core.DB, n, perTx int) *RegisterWorkload {
+	w := &RegisterWorkload{
+		db:    db,
+		table: buildCounterTable(db, "REGISTERS", n),
+		n:     n,
+		perTx: perTx,
+	}
+	np := db.RT.NumProcs()
+	w.txns = make([]registerTxn, np)
+	w.Logs = make([][]RegisterTxnLog, np)
+	for i := range w.txns {
+		w.txns[i] = registerTxn{wl: w, worker: i}
+	}
+	return w
+}
+
+type registerTxn struct {
+	wl     *RegisterWorkload
+	worker int
+	keys   []int
+	writes []bool
+	uniq   uint64 // per-worker unique value counter
+	log    RegisterTxnLog
+}
+
+// Next implements core.Workload.
+func (w *RegisterWorkload) Next(p rt.Proc) core.Txn {
+	t := &w.txns[p.ID()]
+	t.keys = t.keys[:0]
+	t.writes = t.writes[:0]
+	for len(t.keys) < w.perTx {
+		k := p.Rand().Intn(w.n)
+		dup := false
+		for _, e := range t.keys {
+			if e == k {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			t.keys = append(t.keys, k)
+			t.writes = append(t.writes, p.Rand().Intn(2) == 0)
+		}
+	}
+	return t
+}
+
+// Committed implements core.CommitHook: snapshot the final (committed)
+// attempt's trace.
+func (t *registerTxn) Committed() {
+	ops := make([]RegisterOp, len(t.log.Ops))
+	copy(ops, t.log.Ops)
+	t.wl.Logs[t.worker] = append(t.wl.Logs[t.worker], RegisterTxnLog{TS: t.log.TS, Ops: ops})
+}
+
+// uniqueValue packs (worker, counter) into a value no other write produces.
+func (t *registerTxn) uniqueValue() uint64 {
+	t.uniq++
+	return uint64(t.worker+1)<<40 | t.uniq
+}
+
+// Run implements core.Txn.
+func (t *registerTxn) Run(tx *core.TxnCtx) error {
+	sc := t.wl.table.Schema
+	t.log.Ops = t.log.Ops[:0]
+	for i, k := range t.keys {
+		if t.writes[i] {
+			v := t.uniqueValue()
+			if err := tx.Update(t.wl.table, k, func(row []byte) {
+				sc.PutU64(row, 1, v)
+			}); err != nil {
+				return err
+			}
+			t.log.Ops = append(t.log.Ops, RegisterOp{Key: k, Value: v, Write: true})
+		} else {
+			row, err := tx.Read(t.wl.table, k)
+			if err != nil {
+				return err
+			}
+			t.log.Ops = append(t.log.Ops, RegisterOp{Key: k, Value: sc.GetU64(row, 1)})
+		}
+	}
+	t.log.TS = tx.TS
+	return nil
+}
+
+// Partitions implements core.Txn.
+func (t *registerTxn) Partitions() []int { return nil }
+
+// CheckTimestampOrder replays all committed logs serially in timestamp
+// order and verifies every read observed exactly the value the serial
+// execution produces. It returns an error describing the first anomaly.
+// Valid only for schemes whose serialization order is the timestamp order
+// (TIMESTAMP, MVCC).
+func (w *RegisterWorkload) CheckTimestampOrder() error {
+	var all []RegisterTxnLog
+	for _, logs := range w.Logs {
+		all = append(all, logs...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].TS < all[j].TS })
+
+	state := make([]uint64, w.n) // registers start at 0
+	for _, txn := range all {
+		for _, op := range txn.Ops {
+			if op.Write {
+				state[op.Key] = op.Value
+				continue
+			}
+			if state[op.Key] != op.Value {
+				return fmt.Errorf(
+					"history: txn ts=%d read key %d = %#x, but serial replay has %#x",
+					txn.TS, op.Key, op.Value, state[op.Key])
+			}
+		}
+	}
+	return nil
+}
+
+// CommittedCount returns the number of logged committed transactions.
+func (w *RegisterWorkload) CommittedCount() int {
+	total := 0
+	for _, logs := range w.Logs {
+		total += len(logs)
+	}
+	return total
+}
+
+var _ core.Workload = (*RegisterWorkload)(nil)
+var _ core.Txn = (*registerTxn)(nil)
+var _ core.CommitHook = (*registerTxn)(nil)

@@ -1,0 +1,130 @@
+// Package index implements the DBMS's hash indexes (§3.2: "the system
+// supports basic hash table indexes"). Buckets carry low-level latches
+// whose cost — like the paper's — is billed to the INDEX component, and
+// bucket cache lines are placed across the chip's L2 slices so probes pay
+// realistic NUCA latency under simulation.
+package index
+
+import (
+	"abyss1000/internal/costs"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/storage"
+)
+
+// entry is one key→slot mapping.
+type entry struct {
+	key  uint64
+	slot int32
+}
+
+// bucket is one hash bucket: a latch plus an open chain of entries.
+type bucket struct {
+	latch   rt.Latch
+	entries []entry
+}
+
+// Hash is a fixed-bucket-count hash index from uint64 keys to row slots.
+// All mutation happens under per-bucket latches, so the index is safe on
+// both the simulated and native runtimes.
+type Hash struct {
+	table   *storage.Table
+	buckets []bucket
+	mask    uint64
+}
+
+// New creates an index over table with at least minBuckets buckets
+// (rounded up to a power of two).
+func New(r rt.Runtime, table *storage.Table, minBuckets int) *Hash {
+	n := 1
+	for n < minBuckets {
+		n <<= 1
+	}
+	h := &Hash{table: table, buckets: make([]bucket, n), mask: uint64(n - 1)}
+	for i := range h.buckets {
+		h.buckets[i].latch = r.NewLatch(uint64(table.ID)<<48 | 0xB0<<40 | uint64(i))
+	}
+	return h
+}
+
+// Table returns the indexed table.
+func (h *Hash) Table() *storage.Table { return h.table }
+
+func (h *Hash) bucketOf(key uint64) (*bucket, uint64) {
+	z := key + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	i := z & h.mask
+	return &h.buckets[i], i
+}
+
+// memKey identifies the bucket's cache line for NUCA placement.
+func (h *Hash) memKey(i uint64) uint64 {
+	return uint64(h.table.ID)<<48 | 0xB1<<40 | i
+}
+
+// Lookup probes for key, returning the row slot and whether it was found.
+// The probe latches the bucket (the paper bills bucket latching to INDEX).
+func (h *Hash) Lookup(p rt.Proc, key uint64) (int, bool) {
+	b, i := h.bucketOf(key)
+	b.latch.Acquire(p, stats.Index)
+	p.MemRead(stats.Index, h.memKey(i), 16)
+	p.Tick(stats.Index, costs.IndexProbe+uint64(len(b.entries)))
+	slot, ok := -1, false
+	for j := range b.entries {
+		if b.entries[j].key == key {
+			slot, ok = int(b.entries[j].slot), true
+			break
+		}
+	}
+	b.latch.Release(p, stats.Index)
+	return slot, ok
+}
+
+// Insert adds a key→slot mapping. Duplicate keys are allowed at this layer
+// (the workloads use unique keys; the engine's deferred-insert protocol
+// guarantees a slot becomes visible exactly once).
+func (h *Hash) Insert(p rt.Proc, key uint64, slot int) {
+	b, i := h.bucketOf(key)
+	b.latch.Acquire(p, stats.Index)
+	p.MemWrite(stats.Index, h.memKey(i), 16)
+	p.Tick(stats.Index, costs.IndexInsert)
+	b.entries = append(b.entries, entry{key: key, slot: int32(slot)})
+	b.latch.Release(p, stats.Index)
+}
+
+// Remove deletes the key→slot mapping if present (used when rolling back a
+// committed-insert is required, e.g. TPC-C NewOrder user aborts), and
+// reports whether it removed anything.
+func (h *Hash) Remove(p rt.Proc, key uint64, slot int) bool {
+	b, i := h.bucketOf(key)
+	b.latch.Acquire(p, stats.Index)
+	p.MemWrite(stats.Index, h.memKey(i), 16)
+	p.Tick(stats.Index, costs.IndexProbe+uint64(len(b.entries)))
+	removed := false
+	for j := range b.entries {
+		if b.entries[j].key == key && int(b.entries[j].slot) == slot {
+			last := len(b.entries) - 1
+			b.entries[j] = b.entries[last]
+			b.entries = b.entries[:last]
+			removed = true
+			break
+		}
+	}
+	b.latch.Release(p, stats.Index)
+	return removed
+}
+
+// LoadInsert adds a mapping during single-threaded setup with no latching
+// or cost accounting.
+func (h *Hash) LoadInsert(key uint64, slot int) {
+	b, _ := h.bucketOf(key)
+	b.entries = append(b.entries, entry{key: key, slot: int32(slot)})
+}
+
+// CompositeKey packs up to four small ids into one uint64 index key,
+// used by TPC-C's multi-column primary keys (e.g. district = (W_ID, D_ID)).
+func CompositeKey(a, b, c, d uint64) uint64 {
+	return a<<48 | b<<32 | c<<16 | d
+}

@@ -1,0 +1,121 @@
+package mem_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/mem"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/stats"
+)
+
+func TestArenaAllocDisjoint(t *testing.T) {
+	eng := sim.New(1, 1)
+	a := mem.NewArena(1024)
+	eng.Run(func(p rt.Proc) {
+		b1 := a.Alloc(p, stats.Useful, 100)
+		b2 := a.Alloc(p, stats.Useful, 100)
+		for i := range b1 {
+			b1[i] = 0xAA
+		}
+		for i := range b2 {
+			b2[i] = 0xBB
+		}
+		if b1[0] != 0xAA {
+			t.Error("buffer 1 clobbered by buffer 2")
+		}
+		if len(b1) != 100 || cap(b1) != 100 {
+			t.Errorf("buffer len/cap %d/%d, want 100/100", len(b1), cap(b1))
+		}
+	})
+}
+
+func TestArenaGrowsBeyondInitial(t *testing.T) {
+	eng := sim.New(1, 1)
+	a := mem.NewArena(1024)
+	eng.Run(func(p rt.Proc) {
+		big := a.Alloc(p, stats.Useful, 10_000)
+		if len(big) != 10_000 {
+			t.Errorf("large alloc len %d", len(big))
+		}
+		// And subsequent small allocations still work.
+		small := a.Alloc(p, stats.Useful, 8)
+		if len(small) != 8 {
+			t.Error("alloc after growth broken")
+		}
+	})
+}
+
+func TestArenaResetReusesMemory(t *testing.T) {
+	eng := sim.New(1, 1)
+	a := mem.NewArena(4096)
+	eng.Run(func(p rt.Proc) {
+		b1 := a.Alloc(p, stats.Useful, 64)
+		b1[0] = 1
+		a.Reset()
+		b2 := a.Alloc(p, stats.Useful, 64)
+		// Same backing storage expected after reset (pointer-bump pool).
+		if &b1[0] != &b2[0] {
+			t.Error("reset did not recycle the pool")
+		}
+	})
+}
+
+func TestArenaBillsAllocation(t *testing.T) {
+	eng := sim.New(1, 1)
+	a := mem.NewArena(1024)
+	eng.Run(func(p rt.Proc) {
+		before := p.Stats().Get(stats.Manager)
+		a.Alloc(p, stats.Manager, 256)
+		if p.Stats().Get(stats.Manager) == before {
+			t.Error("allocation billed nothing")
+		}
+	})
+}
+
+func TestGlobalPoolSerializes(t *testing.T) {
+	// N workers allocating through the global pool must take ~N times
+	// longer than one worker: the latch serializes them (the §4.1
+	// malloc bottleneck).
+	run := func(cores int) uint64 {
+		eng := sim.New(cores, 1)
+		pool := mem.NewGlobalPool(eng)
+		var max uint64
+		eng.Run(func(p rt.Proc) {
+			alloc := pool.Bound()
+			for i := 0; i < 50; i++ {
+				alloc.Alloc(p, stats.Useful, 64)
+			}
+			if p.Now() > max {
+				max = p.Now()
+			}
+		})
+		return max
+	}
+	one := run(1)
+	sixteen := run(16)
+	if sixteen < 8*one {
+		t.Fatalf("global pool not serializing: 1 core %d cycles, 16 cores %d", one, sixteen)
+	}
+}
+
+func TestGlobalPoolBuffersAreSafe(t *testing.T) {
+	eng := sim.New(4, 1)
+	pool := mem.NewGlobalPool(eng)
+	bufs := make([][]byte, 4)
+	eng.Run(func(p rt.Proc) {
+		alloc := pool.Bound()
+		b := alloc.Alloc(p, stats.Useful, 32)
+		for i := range b {
+			b[i] = byte(p.ID())
+		}
+		bufs[p.ID()] = b
+	})
+	for id, b := range bufs {
+		for _, v := range b {
+			if v != byte(id) {
+				t.Fatalf("worker %d's buffer corrupted", id)
+			}
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package native_test
+
+import (
+	"sync"
+	"testing"
+
+	"abyss1000/internal/native"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+)
+
+func TestRunExecutesAllWorkers(t *testing.T) {
+	r := native.New(8, 1)
+	var mu sync.Mutex
+	ran := map[int]bool{}
+	r.Run(func(p rt.Proc) {
+		mu.Lock()
+		ran[p.ID()] = true
+		mu.Unlock()
+	})
+	if len(ran) != 8 {
+		t.Fatalf("only %d/8 workers ran", len(ran))
+	}
+}
+
+func TestNowAdvances(t *testing.T) {
+	r := native.New(1, 1)
+	r.Run(func(p rt.Proc) {
+		a := p.Now()
+		for i := 0; i < 1000; i++ {
+			_ = i
+		}
+		b := p.Now()
+		if b < a {
+			t.Error("wall clock went backwards")
+		}
+	})
+}
+
+func TestLatchMutualExclusion(t *testing.T) {
+	r := native.New(8, 1)
+	l := r.NewLatch(1)
+	counter := 0
+	r.Run(func(p rt.Proc) {
+		for i := 0; i < 1000; i++ {
+			l.Acquire(p, stats.Manager)
+			counter++
+			l.Release(p, stats.Manager)
+		}
+	})
+	if counter != 8000 {
+		t.Fatalf("counter = %d, want 8000 (latch not mutually exclusive)", counter)
+	}
+}
+
+func TestCounterAtomic(t *testing.T) {
+	r := native.New(8, 1)
+	c := r.NewCounter(1)
+	seen := make([]map[uint64]bool, 8)
+	r.Run(func(p rt.Proc) {
+		m := map[uint64]bool{}
+		for i := 0; i < 1000; i++ {
+			m[c.Add(p, stats.TsAlloc, 1)] = true
+		}
+		seen[p.ID()] = m
+	})
+	all := map[uint64]bool{}
+	for _, m := range seen {
+		for v := range m {
+			if all[v] {
+				t.Fatalf("duplicate counter value %d", v)
+			}
+			all[v] = true
+		}
+	}
+	if c.Load(r.Proc(0), stats.TsAlloc) != 8000 {
+		t.Fatal("final value wrong")
+	}
+	c.Store(r.Proc(0), stats.TsAlloc, 5)
+	if c.Load(r.Proc(0), stats.TsAlloc) != 5 {
+		t.Fatal("store failed")
+	}
+}
+
+func TestParkUnpark(t *testing.T) {
+	r := native.New(2, 1)
+	r.Run(func(p rt.Proc) {
+		if p.ID() == 0 {
+			p.Park(stats.Wait)
+			return
+		}
+		r.Unpark(p, r.Proc(0))
+	})
+}
+
+func TestUnparkBeforeParkIsPermit(t *testing.T) {
+	r := native.New(1, 1)
+	r.Run(func(p rt.Proc) {
+		r.Unpark(nil, p)
+		p.Park(stats.Wait) // must not block: permit pending
+	})
+}
+
+func TestParkTimeout(t *testing.T) {
+	r := native.New(1, 1)
+	r.Run(func(p rt.Proc) {
+		if p.ParkTimeout(stats.Wait, 1_000_000) { // 1 ms
+			t.Error("ParkTimeout reported wake with no waker")
+		}
+	})
+}
+
+func TestDoubleUnparkSinglePermit(t *testing.T) {
+	r := native.New(1, 1)
+	r.Run(func(p rt.Proc) {
+		r.Unpark(nil, p)
+		r.Unpark(nil, p) // permits are binary
+		p.Park(stats.Wait)
+		if p.ParkTimeout(stats.Wait, 100_000) {
+			t.Error("second park consumed a phantom permit")
+		}
+	})
+}
+
+func TestTickBillsModeledCycles(t *testing.T) {
+	r := native.New(1, 1)
+	r.Run(func(p rt.Proc) {
+		p.Tick(stats.Useful, 123)
+		p.Sync(stats.Index, 7)
+		p.MemRead(stats.Useful, 1, 64)
+		p.MemWrite(stats.Useful, 1, 64)
+	})
+	bd := r.Proc(0).Stats()
+	if bd.Get(stats.Useful) < 123 || bd.Get(stats.Index) != 7 {
+		t.Fatalf("billing wrong: %d/%d", bd.Get(stats.Useful), bd.Get(stats.Index))
+	}
+}
+
+func TestDeterministicRandPerWorker(t *testing.T) {
+	draw := func() [4]int64 {
+		r := native.New(4, 99)
+		var out [4]int64
+		r.Run(func(p rt.Proc) {
+			out[p.ID()] = p.Rand().Int63()
+		})
+		return out
+	}
+	a, b := draw(), draw()
+	if a != b {
+		t.Fatalf("per-worker RNG not reproducible: %v vs %v", a, b)
+	}
+	if a[0] == a[1] {
+		t.Fatal("different workers share an RNG stream")
+	}
+}

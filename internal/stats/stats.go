@@ -1,0 +1,177 @@
+// Package stats implements the time-breakdown accounting used throughout the
+// DBMS test-bed. The paper (§3.2) groups the cycles a worker thread spends
+// into six components: USEFUL WORK, ABORT, TS ALLOCATION, INDEX, WAIT and
+// MANAGER. Every operation in this repository is billed to exactly one of
+// these components, and the per-experiment breakdown plots (Figs. 8b, 9b,
+// 10b, 12b) are produced directly from these counters.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Component identifies one of the six time-breakdown categories from §3.2 of
+// the paper.
+type Component int
+
+const (
+	// Useful is time spent executing application logic and operating on
+	// tuples ("USEFUL WORK").
+	Useful Component = iota
+	// Abort is the overhead of rolling back an aborted transaction. As in
+	// DBx1000, the cycles an aborted attempt spent on useful work, index
+	// lookups and manager bookkeeping are re-billed to Abort when the
+	// attempt fails.
+	Abort
+	// TsAlloc is time spent acquiring a unique timestamp from the
+	// allocator ("TS ALLOCATION").
+	TsAlloc
+	// Index is time spent in hash indexes, including bucket latching
+	// ("INDEX").
+	Index
+	// Wait is the total time a transaction waits, either for a lock (2PL)
+	// or for a tuple version that is not ready yet (T/O) ("WAIT").
+	Wait
+	// Manager is time spent in the lock manager or timestamp manager,
+	// excluding waiting ("MANAGER").
+	Manager
+
+	// NumComponents is the number of breakdown components.
+	NumComponents
+)
+
+var componentNames = [NumComponents]string{
+	"Useful Work", "Abort", "Ts Alloc.", "Index", "Wait", "Manager",
+}
+
+// String returns the display name used in the paper's breakdown figures.
+func (c Component) String() string {
+	if c < 0 || c >= NumComponents {
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+	return componentNames[c]
+}
+
+// Breakdown accumulates cycles per component for a single worker/core. It is
+// not safe for concurrent use; in the simulator each Proc owns one, and in
+// the native runtime each worker goroutine owns one (merged after the run).
+type Breakdown struct {
+	buckets [NumComponents]uint64
+
+	// attempt tracks the cycles billed during the current transaction
+	// attempt so they can be re-billed to Abort if the attempt fails.
+	attempt [NumComponents]uint64
+	inTxn   bool
+}
+
+// Add bills cycles to component c, tracking them against the current attempt
+// when one is open.
+func (b *Breakdown) Add(c Component, cycles uint64) {
+	b.buckets[c] += cycles
+	if b.inTxn {
+		b.attempt[c] += cycles
+	}
+}
+
+// BeginAttempt opens a new transaction attempt. Cycles billed until
+// EndAttempt are tracked so an abort can re-bill them.
+func (b *Breakdown) BeginAttempt() {
+	b.inTxn = true
+	for i := range b.attempt {
+		b.attempt[i] = 0
+	}
+}
+
+// CommitAttempt closes the current attempt, leaving its billing as-is.
+func (b *Breakdown) CommitAttempt() {
+	b.inTxn = false
+}
+
+// AbortAttempt closes the current attempt and re-bills its Useful, Index and
+// Manager cycles to Abort, mirroring DBx1000's accounting: work performed by
+// an attempt that ultimately aborts was wasted. TsAlloc and Wait keep their
+// own buckets (the paper reports them separately even for aborted work).
+func (b *Breakdown) AbortAttempt() {
+	b.inTxn = false
+	moved := b.attempt[Useful] + b.attempt[Index] + b.attempt[Manager]
+	b.buckets[Useful] -= b.attempt[Useful]
+	b.buckets[Index] -= b.attempt[Index]
+	b.buckets[Manager] -= b.attempt[Manager]
+	b.buckets[Abort] += moved
+}
+
+// Get returns the cycles accumulated for component c.
+func (b *Breakdown) Get(c Component) uint64 { return b.buckets[c] }
+
+// Total returns the cycles accumulated across all components.
+func (b *Breakdown) Total() uint64 {
+	var t uint64
+	for _, v := range b.buckets {
+		t += v
+	}
+	return t
+}
+
+// Merge adds other's buckets into b.
+func (b *Breakdown) Merge(other *Breakdown) {
+	for i := range b.buckets {
+		b.buckets[i] += other.buckets[i]
+	}
+}
+
+// Reset zeroes all buckets.
+func (b *Breakdown) Reset() {
+	*b = Breakdown{}
+}
+
+// Fractions returns each component's share of the total, or all zeros if no
+// cycles have been billed.
+func (b *Breakdown) Fractions() [NumComponents]float64 {
+	var f [NumComponents]float64
+	t := b.Total()
+	if t == 0 {
+		return f
+	}
+	for i, v := range b.buckets {
+		f[i] = float64(v) / float64(t)
+	}
+	return f
+}
+
+// Counters tracks transaction outcomes for a single worker.
+type Counters struct {
+	Commits uint64 // committed transactions inside the measurement window
+	Aborts  uint64 // aborted attempts inside the measurement window
+	Tuples  uint64 // tuple accesses by committed transactions (Fig. 12)
+}
+
+// Merge adds other's counts into c.
+func (c *Counters) Merge(other *Counters) {
+	c.Commits += other.Commits
+	c.Aborts += other.Aborts
+	c.Tuples += other.Tuples
+}
+
+// AbortRate returns aborts per commit (the paper's Fig. 5 right axis reports
+// aborts relative to committed work).
+func (c *Counters) AbortRate() float64 {
+	if c.Commits == 0 {
+		if c.Aborts == 0 {
+			return 0
+		}
+		return float64(c.Aborts)
+	}
+	return float64(c.Aborts) / float64(c.Commits)
+}
+
+// FormatBreakdown renders a breakdown as a one-line percentage summary, e.g.
+// "Useful Work 42.0% | Abort 10.0% | ...".
+func FormatBreakdown(b *Breakdown) string {
+	f := b.Fractions()
+	parts := make([]string, 0, NumComponents)
+	for i := Component(0); i < NumComponents; i++ {
+		parts = append(parts, fmt.Sprintf("%s %5.1f%%", componentNames[i], f[i]*100))
+	}
+	return strings.Join(parts, " | ")
+}

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestComponentNames(t *testing.T) {
+	want := map[Component]string{
+		Useful:  "Useful Work",
+		Abort:   "Abort",
+		TsAlloc: "Ts Alloc.",
+		Index:   "Index",
+		Wait:    "Wait",
+		Manager: "Manager",
+	}
+	for c, name := range want {
+		if c.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), name)
+		}
+	}
+	if !strings.Contains(Component(99).String(), "99") {
+		t.Error("out-of-range component should render its number")
+	}
+}
+
+func TestAddAndTotal(t *testing.T) {
+	var b Breakdown
+	b.Add(Useful, 100)
+	b.Add(Wait, 50)
+	b.Add(Useful, 25)
+	if b.Get(Useful) != 125 || b.Get(Wait) != 50 {
+		t.Fatalf("buckets wrong: %d/%d", b.Get(Useful), b.Get(Wait))
+	}
+	if b.Total() != 175 {
+		t.Fatalf("total = %d, want 175", b.Total())
+	}
+}
+
+func TestAbortAttemptRebillsWastedWork(t *testing.T) {
+	var b Breakdown
+	b.BeginAttempt()
+	b.Add(Useful, 100)
+	b.Add(Index, 40)
+	b.Add(Manager, 10)
+	b.Add(Wait, 30)
+	b.Add(TsAlloc, 5)
+	b.AbortAttempt()
+
+	if b.Get(Useful) != 0 || b.Get(Index) != 0 || b.Get(Manager) != 0 {
+		t.Fatalf("wasted work not re-billed: useful=%d index=%d manager=%d",
+			b.Get(Useful), b.Get(Index), b.Get(Manager))
+	}
+	if b.Get(Abort) != 150 {
+		t.Fatalf("abort bucket = %d, want 150", b.Get(Abort))
+	}
+	// Wait and TsAlloc keep their own buckets, as the paper reports them.
+	if b.Get(Wait) != 30 || b.Get(TsAlloc) != 5 {
+		t.Fatalf("wait/tsalloc clobbered: %d/%d", b.Get(Wait), b.Get(TsAlloc))
+	}
+	if b.Total() != 185 {
+		t.Fatalf("total changed by abort re-billing: %d", b.Total())
+	}
+}
+
+func TestCommitAttemptKeepsBilling(t *testing.T) {
+	var b Breakdown
+	b.BeginAttempt()
+	b.Add(Useful, 70)
+	b.CommitAttempt()
+	if b.Get(Useful) != 70 || b.Get(Abort) != 0 {
+		t.Fatal("commit should not move cycles")
+	}
+}
+
+func TestAttemptsAreIndependent(t *testing.T) {
+	var b Breakdown
+	b.BeginAttempt()
+	b.Add(Useful, 10)
+	b.AbortAttempt()
+	b.BeginAttempt()
+	b.Add(Useful, 20)
+	b.CommitAttempt()
+	if b.Get(Useful) != 20 {
+		t.Fatalf("useful = %d, want 20 (first attempt re-billed only)", b.Get(Useful))
+	}
+	if b.Get(Abort) != 10 {
+		t.Fatalf("abort = %d, want 10", b.Get(Abort))
+	}
+}
+
+func TestOutsideAttemptBillingSticks(t *testing.T) {
+	var b Breakdown
+	b.Add(Useful, 33) // no attempt open
+	b.BeginAttempt()
+	b.AbortAttempt()
+	if b.Get(Useful) != 33 {
+		t.Fatal("billing outside an attempt must not be re-billed by a later abort")
+	}
+}
+
+func TestMergeAndReset(t *testing.T) {
+	var a, b Breakdown
+	a.Add(Useful, 5)
+	b.Add(Useful, 7)
+	b.Add(Wait, 3)
+	a.Merge(&b)
+	if a.Get(Useful) != 12 || a.Get(Wait) != 3 {
+		t.Fatal("merge wrong")
+	}
+	a.Reset()
+	if a.Total() != 0 {
+		t.Fatal("reset did not zero")
+	}
+}
+
+func TestFractionsSumToOne(t *testing.T) {
+	f := func(vals [NumComponents]uint16) bool {
+		var b Breakdown
+		total := uint64(0)
+		for i, v := range vals {
+			b.Add(Component(i), uint64(v))
+			total += uint64(v)
+		}
+		fr := b.Fractions()
+		if total == 0 {
+			for _, x := range fr {
+				if x != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		sum := 0.0
+		for _, x := range fr {
+			if x < 0 || x > 1 {
+				return false
+			}
+			sum += x
+		}
+		return sum > 0.999 && sum < 1.001
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountersMergeAndRate(t *testing.T) {
+	a := Counters{Commits: 10, Aborts: 5, Tuples: 160}
+	b := Counters{Commits: 2, Aborts: 1, Tuples: 32}
+	a.Merge(&b)
+	if a.Commits != 12 || a.Aborts != 6 || a.Tuples != 192 {
+		t.Fatalf("merge wrong: %+v", a)
+	}
+	if got := a.AbortRate(); got != 0.5 {
+		t.Fatalf("abort rate = %v, want 0.5", got)
+	}
+	empty := Counters{}
+	if empty.AbortRate() != 0 {
+		t.Fatal("empty counters should have zero rate")
+	}
+	onlyAborts := Counters{Aborts: 3}
+	if onlyAborts.AbortRate() != 3 {
+		t.Fatal("zero-commit abort rate should return the raw abort count")
+	}
+}
+
+func TestFormatBreakdownMentionsAllComponents(t *testing.T) {
+	var b Breakdown
+	b.Add(Useful, 50)
+	b.Add(Wait, 50)
+	s := FormatBreakdown(&b)
+	for c := Component(0); c < NumComponents; c++ {
+		if !strings.Contains(s, c.String()) {
+			t.Fatalf("format missing %s: %s", c, s)
+		}
+	}
+	if !strings.Contains(s, "50.0%") {
+		t.Fatalf("format missing percentage: %s", s)
+	}
+}

@@ -1,0 +1,198 @@
+// Package storage implements the row-oriented in-memory tables of the test
+// bed DBMS (§3.2): fixed-width schemas, slab row storage, per-worker insert
+// segments (so inserts never contend on a global allocator), and the
+// catalog. Per-tuple concurrency-control metadata is owned by the CC scheme
+// (attached by slot index), keeping the storage layer scheme-agnostic.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Col describes one fixed-width column.
+type Col struct {
+	Name  string
+	Width int // bytes
+}
+
+// Schema is an ordered set of fixed-width columns.
+type Schema struct {
+	Name    string
+	Cols    []Col
+	offsets []int
+	rowSize int
+}
+
+// NewSchema builds a schema, computing column offsets.
+func NewSchema(name string, cols ...Col) *Schema {
+	s := &Schema{Name: name, Cols: cols}
+	s.offsets = make([]int, len(cols))
+	off := 0
+	for i, c := range cols {
+		if c.Width <= 0 {
+			panic(fmt.Sprintf("storage: column %s.%s has width %d", name, c.Name, c.Width))
+		}
+		s.offsets[i] = off
+		off += c.Width
+	}
+	s.rowSize = off
+	return s
+}
+
+// RowSize returns the bytes per row.
+func (s *Schema) RowSize() int { return s.rowSize }
+
+// Offset returns the byte offset of column i.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// ColIndex returns the index of the named column, or panics — schema
+// mismatches are programming errors, not runtime conditions.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Cols {
+		if c.Name == name {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("storage: no column %q in table %s", name, s.Name))
+}
+
+// GetU64 reads column col of row as a little-endian uint64 (the column must
+// be at least 8 bytes wide).
+func (s *Schema) GetU64(row []byte, col int) uint64 {
+	off := s.offsets[col]
+	return binary.LittleEndian.Uint64(row[off : off+8])
+}
+
+// PutU64 writes column col of row as a little-endian uint64.
+func (s *Schema) PutU64(row []byte, col int, v uint64) {
+	off := s.offsets[col]
+	binary.LittleEndian.PutUint64(row[off:off+8], v)
+}
+
+// GetI64 reads column col as an int64 (two's complement).
+func (s *Schema) GetI64(row []byte, col int) int64 {
+	return int64(s.GetU64(row, col))
+}
+
+// PutI64 writes column col as an int64.
+func (s *Schema) PutI64(row []byte, col int, v int64) {
+	s.PutU64(row, col, uint64(v))
+}
+
+// Bytes returns the raw bytes of column col.
+func (s *Schema) Bytes(row []byte, col int) []byte {
+	off := s.offsets[col]
+	return row[off : off+s.Cols[col].Width]
+}
+
+// Table is a fixed-capacity slab of rows. Slots [0, Preloaded) are filled
+// during setup; the remaining capacity is divided into per-worker segments
+// for runtime inserts, so slot allocation is core-local (the paper's
+// per-thread memory pools, §4.1).
+type Table struct {
+	ID     int
+	Schema *Schema
+
+	slab     []byte
+	capacity int
+	loaded   int // rows populated during setup (single-threaded)
+
+	segBase []int // per-worker next free slot
+	segEnd  []int // per-worker segment end (exclusive)
+}
+
+// NewTable allocates a table with room for capacity rows, of which the
+// first `loaded` will be populated by setup code via LoadRow, and the
+// remainder is split into insert segments for nworkers workers.
+func NewTable(id int, schema *Schema, capacity, loaded, nworkers int) *Table {
+	if loaded > capacity {
+		panic(fmt.Sprintf("storage: table %s loaded %d > capacity %d", schema.Name, loaded, capacity))
+	}
+	t := &Table{
+		ID:       id,
+		Schema:   schema,
+		slab:     make([]byte, capacity*schema.RowSize()),
+		capacity: capacity,
+		loaded:   loaded,
+	}
+	spare := capacity - loaded
+	per := spare / nworkers
+	t.segBase = make([]int, nworkers)
+	t.segEnd = make([]int, nworkers)
+	for w := 0; w < nworkers; w++ {
+		t.segBase[w] = loaded + w*per
+		t.segEnd[w] = loaded + (w+1)*per
+	}
+	if nworkers > 0 {
+		t.segEnd[nworkers-1] = capacity
+	}
+	return t
+}
+
+// Capacity returns the total slot count (CC schemes size their per-tuple
+// metadata arrays from this).
+func (t *Table) Capacity() int { return t.capacity }
+
+// Loaded returns the number of setup-time rows.
+func (t *Table) Loaded() int { return t.loaded }
+
+// Row returns the storage bytes of slot (shared, live row data).
+func (t *Table) Row(slot int) []byte {
+	rs := t.Schema.RowSize()
+	return t.slab[slot*rs : (slot+1)*rs : (slot+1)*rs]
+}
+
+// LoadRow returns slot i's bytes for single-threaded population at setup.
+func (t *Table) LoadRow(i int) []byte { return t.Row(i) }
+
+// AllocSlot carves a fresh slot from worker w's insert segment. It returns
+// -1 when the segment is exhausted (the caller sizes capacity to make this
+// impossible in a configured run; hitting it is a configuration error
+// surfaced by the engine).
+func (t *Table) AllocSlot(w int) int {
+	if t.segBase[w] >= t.segEnd[w] {
+		return -1
+	}
+	s := t.segBase[w]
+	t.segBase[w]++
+	return s
+}
+
+// MemKey returns the placement key of slot's cache line(s) for the NUCA
+// model: tuples hash across L2 slices by (table, slot).
+func (t *Table) MemKey(slot int) uint64 {
+	return uint64(t.ID)<<40 | uint64(slot)
+}
+
+// Catalog is the set of tables in a database.
+type Catalog struct {
+	tables []*Table
+	byName map[string]*Table
+}
+
+// NewCatalog creates an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{byName: make(map[string]*Table)}
+}
+
+// Add registers a table built from schema and returns it.
+func (c *Catalog) Add(schema *Schema, capacity, loaded, nworkers int) *Table {
+	t := NewTable(len(c.tables), schema, capacity, loaded, nworkers)
+	c.tables = append(c.tables, t)
+	c.byName[schema.Name] = t
+	return t
+}
+
+// Tables returns all tables in id order.
+func (c *Catalog) Tables() []*Table { return c.tables }
+
+// Table looks a table up by name, or panics (schema mismatches are
+// programming errors).
+func (c *Catalog) Table(name string) *Table {
+	t, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("storage: no table %q", name))
+	}
+	return t
+}

@@ -1,0 +1,180 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema("T",
+		Col{Name: "ID", Width: 8},
+		Col{Name: "VAL", Width: 8},
+		Col{Name: "PAD", Width: 20},
+	)
+}
+
+func TestSchemaLayout(t *testing.T) {
+	s := testSchema()
+	if s.RowSize() != 36 {
+		t.Fatalf("row size = %d, want 36", s.RowSize())
+	}
+	if s.Offset(0) != 0 || s.Offset(1) != 8 || s.Offset(2) != 16 {
+		t.Fatalf("offsets wrong: %d %d %d", s.Offset(0), s.Offset(1), s.Offset(2))
+	}
+}
+
+func TestSchemaRejectsZeroWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on zero-width column")
+		}
+	}()
+	NewSchema("BAD", Col{Name: "X", Width: 0})
+}
+
+func TestColIndex(t *testing.T) {
+	s := testSchema()
+	if s.ColIndex("VAL") != 1 {
+		t.Fatal("ColIndex wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown column")
+		}
+	}()
+	s.ColIndex("NOPE")
+}
+
+func TestU64RoundTrip(t *testing.T) {
+	s := testSchema()
+	row := make([]byte, s.RowSize())
+	f := func(v uint64) bool {
+		s.PutU64(row, 1, v)
+		return s.GetU64(row, 1) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestI64RoundTrip(t *testing.T) {
+	s := testSchema()
+	row := make([]byte, s.RowSize())
+	f := func(v int64) bool {
+		s.PutI64(row, 1, v)
+		return s.GetI64(row, 1) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutDoesNotClobberNeighbors(t *testing.T) {
+	s := testSchema()
+	row := make([]byte, s.RowSize())
+	s.PutU64(row, 0, 0xAAAAAAAAAAAAAAAA)
+	s.PutU64(row, 1, 0xBBBBBBBBBBBBBBBB)
+	copy(s.Bytes(row, 2), "hello")
+	if s.GetU64(row, 0) != 0xAAAAAAAAAAAAAAAA {
+		t.Fatal("col 0 clobbered")
+	}
+	if string(s.Bytes(row, 2)[:5]) != "hello" {
+		t.Fatal("col 2 clobbered")
+	}
+}
+
+func TestTableRowsAreDisjoint(t *testing.T) {
+	tab := NewTable(0, testSchema(), 10, 10, 2)
+	for i := 0; i < 10; i++ {
+		tab.Schema.PutU64(tab.Row(i), 0, uint64(i)+100)
+	}
+	for i := 0; i < 10; i++ {
+		if got := tab.Schema.GetU64(tab.Row(i), 0); got != uint64(i)+100 {
+			t.Fatalf("row %d = %d, rows overlap", i, got)
+		}
+	}
+	// Row slices must not allow append-extension into the next row.
+	r := tab.Row(0)
+	if cap(r) != len(r) {
+		t.Fatal("row slice capacity leaks into neighboring row")
+	}
+}
+
+func TestAllocSlotSegments(t *testing.T) {
+	tab := NewTable(0, testSchema(), 100, 20, 4)
+	// 80 spare slots over 4 workers = 20 each.
+	seen := map[int]bool{}
+	for w := 0; w < 4; w++ {
+		for i := 0; i < 20; i++ {
+			s := tab.AllocSlot(w)
+			if s < 20 || s >= 100 {
+				t.Fatalf("slot %d outside insert region", s)
+			}
+			if seen[s] {
+				t.Fatalf("slot %d allocated twice", s)
+			}
+			seen[s] = true
+		}
+	}
+	// All segments exhausted now.
+	for w := 0; w < 4; w++ {
+		if s := tab.AllocSlot(w); s != -1 {
+			t.Fatalf("exhausted segment returned %d", s)
+		}
+	}
+}
+
+func TestAllocSlotWorkersAreIndependent(t *testing.T) {
+	tab := NewTable(0, testSchema(), 40, 0, 4)
+	a := tab.AllocSlot(0)
+	b := tab.AllocSlot(3)
+	if a == b {
+		t.Fatal("different workers shared a slot")
+	}
+}
+
+func TestNewTablePanicsWhenLoadedExceedsCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable(0, testSchema(), 5, 6, 1)
+}
+
+func TestMemKeyUniquePerSlotAndTable(t *testing.T) {
+	a := NewTable(1, testSchema(), 4, 4, 1)
+	b := NewTable(2, testSchema(), 4, 4, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 4; i++ {
+		for _, tab := range []*Table{a, b} {
+			k := tab.MemKey(i)
+			if seen[k] {
+				t.Fatalf("duplicate mem key %#x", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	t1 := c.Add(testSchema(), 4, 4, 1)
+	s2 := NewSchema("U", Col{Name: "K", Width: 8})
+	t2 := c.Add(s2, 4, 4, 1)
+	if t1.ID != 0 || t2.ID != 1 {
+		t.Fatalf("table ids %d/%d", t1.ID, t2.ID)
+	}
+	if c.Table("U") != t2 {
+		t.Fatal("lookup by name wrong")
+	}
+	if len(c.Tables()) != 2 {
+		t.Fatal("Tables() wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown table")
+		}
+	}()
+	c.Table("MISSING")
+}

@@ -1,0 +1,190 @@
+package tsalloc_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/native"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/tsalloc"
+)
+
+func TestParseMethod(t *testing.T) {
+	cases := map[string]tsalloc.Method{
+		"mutex": tsalloc.Mutex, "atomic": tsalloc.Atomic,
+		"batch8": tsalloc.Batch8, "batch16": tsalloc.Batch16,
+		"clock": tsalloc.Clock, "hw": tsalloc.Hardware, "hardware": tsalloc.Hardware,
+	}
+	for s, want := range cases {
+		got, err := tsalloc.ParseMethod(s)
+		if err != nil || got != want {
+			t.Errorf("ParseMethod(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := tsalloc.ParseMethod("bogus"); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range tsalloc.Methods {
+		if m.String() == "" || m.String()[0] == 'M' && m != tsalloc.Mutex {
+			t.Errorf("method %d has suspicious name %q", int(m), m)
+		}
+	}
+}
+
+// TestUniqueness: every method must issue globally unique timestamps
+// under concurrent allocation on the simulator.
+func TestUniqueness(t *testing.T) {
+	for _, m := range tsalloc.Methods {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			const cores, per = 16, 50
+			eng := sim.New(cores, 3)
+			alloc := tsalloc.New(m, eng)
+			got := make([][]uint64, cores)
+			eng.Run(func(p rt.Proc) {
+				for i := 0; i < per; i++ {
+					got[p.ID()] = append(got[p.ID()], alloc.Next(p))
+				}
+			})
+			seen := map[uint64]bool{}
+			for _, list := range got {
+				for _, ts := range list {
+					if seen[ts] {
+						t.Fatalf("%s issued duplicate timestamp %d", m, ts)
+					}
+					seen[ts] = true
+				}
+			}
+		})
+	}
+}
+
+// TestPerWorkerMonotonic: timestamps drawn by one worker must increase.
+func TestPerWorkerMonotonic(t *testing.T) {
+	for _, m := range tsalloc.Methods {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			eng := sim.New(8, 5)
+			alloc := tsalloc.New(m, eng)
+			bad := false
+			eng.Run(func(p rt.Proc) {
+				var last uint64
+				for i := 0; i < 100; i++ {
+					ts := alloc.Next(p)
+					if ts <= last {
+						bad = true
+						return
+					}
+					last = ts
+				}
+			})
+			if bad {
+				t.Fatalf("%s issued non-increasing timestamps to one worker", m)
+			}
+		})
+	}
+}
+
+// TestUniquenessNative repeats uniqueness with real goroutines racing.
+func TestUniquenessNative(t *testing.T) {
+	for _, m := range tsalloc.Methods {
+		m := m
+		t.Run(m.String(), func(t *testing.T) {
+			const cores, per = 8, 200
+			rtm := native.New(cores, 3)
+			alloc := tsalloc.New(m, rtm)
+			got := make([][]uint64, cores)
+			rtm.Run(func(p rt.Proc) {
+				for i := 0; i < per; i++ {
+					got[p.ID()] = append(got[p.ID()], alloc.Next(p))
+				}
+			})
+			seen := map[uint64]bool{}
+			for _, list := range got {
+				for _, ts := range list {
+					if seen[ts] {
+						t.Fatalf("%s issued duplicate timestamp %d natively", m, ts)
+					}
+					seen[ts] = true
+				}
+			}
+		})
+	}
+}
+
+// TestBillingGoesToTsAlloc: allocation cost lands in the TS ALLOCATION
+// bucket, the component the paper's breakdowns track.
+func TestBillingGoesToTsAlloc(t *testing.T) {
+	for _, m := range tsalloc.Methods {
+		eng := sim.New(2, 1)
+		alloc := tsalloc.New(m, eng)
+		eng.Run(func(p rt.Proc) {
+			for i := 0; i < 20; i++ {
+				alloc.Next(p)
+			}
+		})
+		if eng.Proc(0).Stats().Get(stats.TsAlloc) == 0 {
+			t.Errorf("%s billed nothing to TsAlloc", m)
+		}
+	}
+}
+
+// TestContentionOrdering verifies the paper's Fig. 6 ordering at a
+// contended core count: clock > hardware > batched > atomic > mutex.
+func TestContentionOrdering(t *testing.T) {
+	const cores = 256
+	const window = 100_000
+	rates := map[tsalloc.Method]float64{}
+	for _, m := range tsalloc.Methods {
+		eng := sim.New(cores, 9)
+		alloc := tsalloc.New(m, eng)
+		counts := make([]uint64, cores)
+		eng.Run(func(p rt.Proc) {
+			for p.Now() < window {
+				alloc.Next(p)
+				counts[p.ID()]++
+			}
+		})
+		var total uint64
+		for _, c := range counts {
+			total += c
+		}
+		rates[m] = float64(total)
+	}
+	order := []tsalloc.Method{tsalloc.Clock, tsalloc.Hardware, tsalloc.Batch16, tsalloc.Batch8, tsalloc.Atomic, tsalloc.Mutex}
+	for i := 0; i+1 < len(order); i++ {
+		if rates[order[i]] <= rates[order[i+1]] {
+			t.Fatalf("at %d cores, %s (%.0f) should outrate %s (%.0f)",
+				cores, order[i], rates[order[i]], order[i+1], rates[order[i+1]])
+		}
+	}
+}
+
+// TestBatchedDrawsFewerSharedOps: batching must reduce traffic on the
+// shared counter by ~the batch size.
+func TestBatchedDrawsFewerSharedOps(t *testing.T) {
+	const cores, per = 4, 64
+	run := func(m tsalloc.Method) uint64 {
+		eng := sim.New(cores, 1)
+		alloc := tsalloc.New(m, eng)
+		var end uint64
+		eng.Run(func(p rt.Proc) {
+			for i := 0; i < per; i++ {
+				alloc.Next(p)
+			}
+			if p.Now() > end {
+				end = p.Now()
+			}
+		})
+		return end
+	}
+	plain := run(tsalloc.Atomic)
+	batched := run(tsalloc.Batch16)
+	if batched >= plain {
+		t.Fatalf("batch16 (%d cycles) not cheaper than plain atomic (%d cycles)", batched, plain)
+	}
+}

@@ -1,0 +1,140 @@
+package waitgraph_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/waitgraph"
+)
+
+// run executes body on worker 0 of a small simulated chip, with the other
+// workers idle; graph state for them is prepared via their own procs.
+func run(t *testing.T, cores int, body func(g *waitgraph.Graph, procs []rt.Proc)) {
+	t.Helper()
+	eng := sim.New(cores, 1)
+	g := waitgraph.New(eng)
+	procs := make([]rt.Proc, cores)
+	eng.Run(func(p rt.Proc) {
+		procs[p.ID()] = p
+		if p.ID() == 0 {
+			// Give the other procs a chance to register.
+			p.Sync(0, 10)
+			body(g, procs)
+		} else {
+			p.Sync(0, 1000) // stay alive until the body finishes
+		}
+	})
+}
+
+func TestNoCycleOnChain(t *testing.T) {
+	run(t, 4, func(g *waitgraph.Graph, procs []rt.Proc) {
+		p := procs[0]
+		s0 := g.BeginTxn(p)
+		// 0 -> 1 -> 2 (a chain, no cycle).
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 1, Seq: 1}})
+		if g.FindCycle(p, 0, s0) != nil {
+			t.Error("chain reported as cycle")
+		}
+	})
+}
+
+func TestSelfCycleDetected(t *testing.T) {
+	run(t, 4, func(g *waitgraph.Graph, procs []rt.Proc) {
+		p := procs[0]
+		s0 := g.BeginTxn(p)
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 0, Seq: s0}})
+		cycle := g.FindCycle(p, 0, s0)
+		if cycle == nil {
+			t.Error("direct self-cycle missed")
+		}
+		if len(cycle) != 1 || cycle[0] != 0 {
+			t.Errorf("self-cycle membership = %v, want [0]", cycle)
+		}
+	})
+}
+
+func TestStaleEdgesIgnored(t *testing.T) {
+	run(t, 4, func(g *waitgraph.Graph, procs []rt.Proc) {
+		p := procs[0]
+		s0 := g.BeginTxn(p)
+		// Point at worker 1's txn seq 99, which is not its live seq:
+		// the edge is stale and must not contribute to a cycle even if
+		// worker 1 points back at us.
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 1, Seq: 99}})
+		if g.FindCycle(p, 0, s0) != nil {
+			t.Error("stale edge treated as live")
+		}
+	})
+}
+
+func TestClearEdgesStopsCycle(t *testing.T) {
+	run(t, 4, func(g *waitgraph.Graph, procs []rt.Proc) {
+		p := procs[0]
+		s0 := g.BeginTxn(p)
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 0, Seq: s0}})
+		g.ClearEdges(p)
+		if g.FindCycle(p, 0, s0) != nil {
+			t.Error("cycle survives ClearEdges")
+		}
+	})
+}
+
+func TestBeginTxnInvalidatesOldEdges(t *testing.T) {
+	run(t, 4, func(g *waitgraph.Graph, procs []rt.Proc) {
+		p := procs[0]
+		s0 := g.BeginTxn(p)
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 0, Seq: s0}})
+		s1 := g.BeginTxn(p) // new txn: old self-edge meaningless
+		if g.FindCycle(p, 0, s1) != nil {
+			t.Error("previous transaction's edges leaked into the new one")
+		}
+	})
+}
+
+// TestTwoPartyCycle builds the classic deadlock 0 -> 1 -> 0 through two
+// workers' live transactions.
+func TestTwoPartyCycle(t *testing.T) {
+	eng := sim.New(2, 1)
+	g := waitgraph.New(eng)
+	seqs := make([]uint64, 2)
+	eng.Run(func(p rt.Proc) {
+		seqs[p.ID()] = g.BeginTxn(p)
+		p.Sync(0, 10) // both registered
+		if p.ID() == 1 {
+			g.SetEdges(p, []waitgraph.Edge{{Worker: 0, Seq: seqs[0]}})
+			p.Sync(0, 1000)
+			return
+		}
+		p.Sync(0, 100) // let worker 1 publish its edge
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 1, Seq: seqs[1]}})
+		if g.FindCycle(p, 0, seqs[0]) == nil {
+			t.Error("two-party deadlock not detected")
+		}
+	})
+}
+
+// TestLongCycle exercises the DFS across several hops.
+func TestLongCycle(t *testing.T) {
+	const n = 6
+	eng := sim.New(n, 1)
+	g := waitgraph.New(eng)
+	seqs := make([]uint64, n)
+	eng.Run(func(p rt.Proc) {
+		seqs[p.ID()] = g.BeginTxn(p)
+		p.Sync(0, 10)
+		id := p.ID()
+		if id != 0 {
+			// i waits for i+1 mod n.
+			next := (id + 1) % n
+			g.SetEdges(p, []waitgraph.Edge{{Worker: next, Seq: seqs[next]}})
+			p.Sync(0, 2000)
+			return
+		}
+		p.Sync(0, 500) // everyone published
+		g.SetEdges(p, []waitgraph.Edge{{Worker: 1, Seq: seqs[1]}})
+		if g.FindCycle(p, 0, seqs[0]) == nil {
+			t.Error("6-party cycle not detected")
+		}
+	})
+}

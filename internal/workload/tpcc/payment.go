@@ -1,0 +1,115 @@
+package tpcc
+
+import (
+	"abyss1000/internal/core"
+	"abyss1000/internal/rt"
+)
+
+// paymentTxn is the TPC-C Payment transaction: record a customer payment,
+// updating warehouse, district and customer year-to-date totals and
+// appending a HISTORY row. Every Payment updates its warehouse's W_YTD —
+// the single-field hotspot the paper identifies as the Fig. 16 bottleneck
+// when workers outnumber warehouses.
+type paymentTxn struct {
+	wl *Workload
+
+	wid, did   uint64 // home warehouse/district (the payment is recorded here)
+	cwid, cdid uint64 // customer's warehouse/district (15% remote)
+	cid        uint64
+	amount     int64
+	parts      []int
+	worker     int
+}
+
+// generate draws the transaction inputs (spec §2.5.1, scaled).
+func (t *paymentTxn) generate(p rt.Proc) {
+	cfg := &t.wl.cfg
+	rng := p.Rand()
+	t.worker = p.ID()
+	t.wid = t.wl.homeWarehouse(p)
+	t.did = uint64(rng.Intn(cfg.DistrictsPerWarehouse)) + 1
+	t.cwid, t.cdid = t.wid, t.did
+	if cfg.Warehouses > 1 && rng.Float64() < cfg.RemotePaymentPct {
+		for {
+			t.cwid = uint64(rng.Intn(cfg.Warehouses)) + 1
+			if t.cwid != t.wid {
+				break
+			}
+		}
+		t.cdid = uint64(rng.Intn(cfg.DistrictsPerWarehouse)) + 1
+	}
+	t.cid = uint64(rng.Intn(cfg.CustomersPerDistrict)) + 1
+	t.amount = int64(rng.Intn(499901) + 100) // $1.00 - $5,000.00
+
+	t.parts = t.parts[:0]
+	t.parts = append(t.parts, t.wl.partitionOf(t.wid))
+	if cp := t.wl.partitionOf(t.cwid); cp != t.parts[0] {
+		t.parts = append(t.parts, cp)
+	}
+	if len(t.parts) == 2 && t.parts[0] > t.parts[1] {
+		t.parts[0], t.parts[1] = t.parts[1], t.parts[0]
+	}
+}
+
+// Run implements core.Txn.
+func (t *paymentTxn) Run(tx *core.TxnCtx) error {
+	w := t.wl
+
+	// Warehouse: W_YTD += amount (the hotspot).
+	wslot, ok := tx.Lookup(w.idxWarehouse, warehouseKey(t.wid))
+	if !ok {
+		panic("tpcc: warehouse missing")
+	}
+	sc := w.warehouse.Schema
+	if err := tx.Update(w.warehouse, wslot, func(row []byte) {
+		sc.PutI64(row, WYTD, sc.GetI64(row, WYTD)+t.amount)
+	}); err != nil {
+		return err
+	}
+
+	// District: D_YTD += amount.
+	dslot, ok := tx.Lookup(w.idxDistrict, districtKey(t.wid, t.did))
+	if !ok {
+		panic("tpcc: district missing")
+	}
+	dsc := w.district.Schema
+	if err := tx.Update(w.district, dslot, func(row []byte) {
+		dsc.PutI64(row, DYTD, dsc.GetI64(row, DYTD)+t.amount)
+	}); err != nil {
+		return err
+	}
+
+	// Customer: balance down, YTD payment up, payment count up.
+	cslot, ok := tx.Lookup(w.idxCustomer, customerKey(t.cwid, t.cdid, t.cid))
+	if !ok {
+		panic("tpcc: customer missing")
+	}
+	csc := w.customer.Schema
+	if err := tx.Update(w.customer, cslot, func(row []byte) {
+		csc.PutI64(row, CBalance, csc.GetI64(row, CBalance)-t.amount)
+		csc.PutI64(row, CYTDPayment, csc.GetI64(row, CYTDPayment)+t.amount)
+		csc.PutU64(row, CPaymentCnt, csc.GetU64(row, CPaymentCnt)+1)
+	}); err != nil {
+		return err
+	}
+
+	// History append.
+	w.hseq[t.worker]++
+	hkey := historyKey(t.worker, w.hseq[t.worker])
+	hsc := w.history.Schema
+	tx.Insert(w.idxHistory, hkey, func(row []byte) {
+		hsc.PutU64(row, HCID, t.cid)
+		hsc.PutU64(row, HCDID, t.cdid)
+		hsc.PutU64(row, HCWID, t.cwid)
+		hsc.PutU64(row, HDID, t.did)
+		hsc.PutU64(row, HWID, t.wid)
+		hsc.PutU64(row, HDate, tx.P.Now())
+		hsc.PutI64(row, HAmount, t.amount)
+	})
+	return nil
+}
+
+// Partitions implements core.Txn.
+func (t *paymentTxn) Partitions() []int { return t.parts }
+
+var _ core.Txn = (*paymentTxn)(nil)

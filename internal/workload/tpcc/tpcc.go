@@ -1,0 +1,257 @@
+package tpcc
+
+import (
+	"math/rand"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/index"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/storage"
+)
+
+// Config parameterizes the TPC-C database and mix.
+type Config struct {
+	// Warehouses is the scale factor (the paper runs 4 and 1024).
+	Warehouses int
+
+	// DistrictsPerWarehouse is 10 in the specification.
+	DistrictsPerWarehouse int
+
+	// CustomersPerDistrict is 3000 in the specification; scaled down by
+	// default (transaction footprints are size-independent, §5.6).
+	CustomersPerDistrict int
+
+	// Items is 100 000 in the specification; scaled down by default.
+	// Each warehouse stocks every item.
+	Items int
+
+	// PaymentPct is the fraction of Payment transactions; the rest are
+	// NewOrder (the paper runs 50/50; the spec mix for these two is
+	// 43/45). Set 1 or 0 for the single-transaction plots (Figs. 16b,
+	// 16c, 17b, 17c).
+	PaymentPct float64
+
+	// RemotePaymentPct is the probability a Payment pays a customer of
+	// a remote warehouse (spec: 15%).
+	RemotePaymentPct float64
+
+	// RemoteItemPct is the per-item probability a NewOrder line is
+	// supplied by a remote warehouse (spec: 1%, making ~10% of
+	// NewOrders multi-warehouse — the paper's ~10% figure).
+	RemoteItemPct float64
+
+	// UserAbortPct is the probability a NewOrder rolls back on an
+	// invalid item (spec: 1%).
+	UserAbortPct float64
+
+	// InsertsPerWorker sizes the insert segments of HISTORY, ORDERS,
+	// NEW_ORDER and ORDER_LINE (ORDER_LINE gets 15x). Raise it for
+	// long measurement windows.
+	InsertsPerWorker int
+}
+
+// DefaultConfig returns spec ratios at laptop scale.
+func DefaultConfig(warehouses int) Config {
+	return Config{
+		Warehouses:            warehouses,
+		DistrictsPerWarehouse: 10,
+		CustomersPerDistrict:  300,
+		Items:                 1000,
+		PaymentPct:            0.5,
+		RemotePaymentPct:      0.15,
+		RemoteItemPct:         0.01,
+		UserAbortPct:          0.01,
+		InsertsPerWorker:      4096,
+	}
+}
+
+// Workload is a populated TPC-C database plus per-worker generators.
+type Workload struct {
+	cfg Config
+	db  *core.DB
+
+	warehouse, district, customer *storage.Table
+	history, neworder, orders     *storage.Table
+	orderline, item, stock        *storage.Table
+
+	idxWarehouse, idxDistrict, idxCustomer *index.Hash
+	idxItem, idxStock                      *index.Hash
+	idxOrders, idxNewOrder, idxOrderLine   *index.Hash
+	idxHistory                             *index.Hash
+
+	payments  []paymentTxn
+	neworders []newOrderTxn
+	hseq      []uint64 // per-worker history key counter
+}
+
+// Build creates, populates and indexes the TPC-C database on db.
+func Build(db *core.DB, cfg Config) *Workload {
+	if cfg.Warehouses <= 0 {
+		panic("tpcc: need at least one warehouse")
+	}
+	n := db.RT.NumProcs()
+	w := &Workload{cfg: cfg, db: db}
+
+	W := cfg.Warehouses
+	D := W * cfg.DistrictsPerWarehouse
+	C := D * cfg.CustomersPerDistrict
+	S := W * cfg.Items
+	ins := cfg.InsertsPerWorker
+
+	w.warehouse = db.Catalog.Add(warehouseSchema(), W, W, n)
+	w.district = db.Catalog.Add(districtSchema(), D, D, n)
+	w.customer = db.Catalog.Add(customerSchema(), C, C, n)
+	w.item = db.Catalog.Add(itemSchema(), cfg.Items, cfg.Items, n)
+	w.stock = db.Catalog.Add(stockSchema(), S, S, n)
+	w.history = db.Catalog.Add(historySchema(), n*ins, 0, n)
+	w.orders = db.Catalog.Add(ordersSchema(), n*ins, 0, n)
+	w.neworder = db.Catalog.Add(newOrderSchema(), n*ins, 0, n)
+	w.orderline = db.Catalog.Add(orderLineSchema(), n*ins*15, 0, n)
+
+	w.idxWarehouse = db.AddIndex("WAREHOUSE_PK", w.warehouse, W)
+	w.idxDistrict = db.AddIndex("DISTRICT_PK", w.district, D)
+	w.idxCustomer = db.AddIndex("CUSTOMER_PK", w.customer, C)
+	w.idxItem = db.AddIndex("ITEM_PK", w.item, cfg.Items)
+	w.idxStock = db.AddIndex("STOCK_PK", w.stock, S)
+	w.idxHistory = db.AddIndex("HISTORY_PK", w.history, n*ins)
+	w.idxOrders = db.AddIndex("ORDERS_PK", w.orders, n*ins)
+	w.idxNewOrder = db.AddIndex("NEW_ORDER_PK", w.neworder, n*ins)
+	w.idxOrderLine = db.AddIndex("ORDER_LINE_PK", w.orderline, n*ins*15)
+
+	w.populate()
+
+	w.payments = make([]paymentTxn, n)
+	w.neworders = make([]newOrderTxn, n)
+	w.hseq = make([]uint64, n)
+	for i := 0; i < n; i++ {
+		w.payments[i].wl = w
+		w.neworders[i].wl = w
+		w.neworders[i].items = make([]olInput, 0, 15)
+	}
+	return w
+}
+
+// Key helpers: warehouse ids are 1-based as in the specification.
+
+func warehouseKey(wid uint64) uint64 { return wid }
+
+func districtKey(wid, did uint64) uint64 { return index.CompositeKey(wid, did, 0, 0) }
+
+func customerKey(wid, did, cid uint64) uint64 { return index.CompositeKey(wid, did, cid, 0) }
+
+func itemKey(iid uint64) uint64 { return iid }
+
+func stockKey(wid, iid uint64) uint64 { return index.CompositeKey(wid, 0, iid, 0) }
+
+func orderKey(wid, did, oid uint64) uint64 { return index.CompositeKey(wid, did, oid, 0) }
+
+func orderLineKey(wid, did, oid, ol uint64) uint64 { return index.CompositeKey(wid, did, oid, ol) }
+
+func historyKey(worker int, seq uint64) uint64 {
+	return index.CompositeKey(uint64(worker)+1, 0, 0, 0) | seq
+}
+
+// populate loads the initial database per the specification's cardinality
+// rules (scaled), single-threaded.
+func (w *Workload) populate() {
+	cfg := &w.cfg
+	rng := rand.New(rand.NewSource(0x79CC))
+
+	slot := 0
+	for wid := 1; wid <= cfg.Warehouses; wid++ {
+		row := w.warehouse.LoadRow(slot)
+		sc := w.warehouse.Schema
+		sc.PutU64(row, WID, uint64(wid))
+		sc.PutI64(row, WTax, int64(rng.Intn(2001))) // 0-20.00% in basis points
+		sc.PutI64(row, WYTD, 30000000)              // $300,000.00 in cents
+		w.idxWarehouse.LoadInsert(warehouseKey(uint64(wid)), slot)
+		slot++
+	}
+
+	slot = 0
+	for wid := 1; wid <= cfg.Warehouses; wid++ {
+		for did := 1; did <= cfg.DistrictsPerWarehouse; did++ {
+			row := w.district.LoadRow(slot)
+			sc := w.district.Schema
+			sc.PutU64(row, DID, uint64(did))
+			sc.PutU64(row, DWID, uint64(wid))
+			sc.PutI64(row, DTax, int64(rng.Intn(2001)))
+			sc.PutI64(row, DYTD, 3000000) // $30,000.00
+			sc.PutU64(row, DNextOID, 1)   // no pre-loaded orders
+			w.idxDistrict.LoadInsert(districtKey(uint64(wid), uint64(did)), slot)
+			slot++
+		}
+	}
+
+	slot = 0
+	for wid := 1; wid <= cfg.Warehouses; wid++ {
+		for did := 1; did <= cfg.DistrictsPerWarehouse; did++ {
+			for cid := 1; cid <= cfg.CustomersPerDistrict; cid++ {
+				row := w.customer.LoadRow(slot)
+				sc := w.customer.Schema
+				sc.PutU64(row, CID, uint64(cid))
+				sc.PutU64(row, CDID, uint64(did))
+				sc.PutU64(row, CWID, uint64(wid))
+				sc.PutI64(row, CDiscount, int64(rng.Intn(5001))) // 0-50.00%
+				sc.PutI64(row, CCreditLim, 5000000)              // $50,000.00
+				sc.PutI64(row, CBalance, -1000)                  // -$10.00
+				sc.PutI64(row, CYTDPayment, 1000)
+				sc.PutU64(row, CPaymentCnt, 1)
+				if rng.Intn(10) == 0 {
+					sc.PutU64(row, CCredit, 1) // BC: 10%
+				}
+				w.idxCustomer.LoadInsert(customerKey(uint64(wid), uint64(did), uint64(cid)), slot)
+				slot++
+			}
+		}
+	}
+
+	for iid := 1; iid <= cfg.Items; iid++ {
+		row := w.item.LoadRow(iid - 1)
+		sc := w.item.Schema
+		sc.PutU64(row, IID, uint64(iid))
+		sc.PutU64(row, IIMID, uint64(rng.Intn(10000)+1))
+		sc.PutI64(row, IPrice, int64(rng.Intn(9901)+100)) // $1.00-$100.00
+		w.idxItem.LoadInsert(itemKey(uint64(iid)), iid-1)
+	}
+
+	slot = 0
+	for wid := 1; wid <= cfg.Warehouses; wid++ {
+		for iid := 1; iid <= cfg.Items; iid++ {
+			row := w.stock.LoadRow(slot)
+			sc := w.stock.Schema
+			sc.PutU64(row, SIID, uint64(iid))
+			sc.PutU64(row, SWID, uint64(wid))
+			sc.PutI64(row, SQuantity, int64(rng.Intn(91)+10)) // 10-100
+			w.idxStock.LoadInsert(stockKey(uint64(wid), uint64(iid)), slot)
+			slot++
+		}
+	}
+}
+
+// homeWarehouse binds worker p to a warehouse, round-robin (paper §5.6:
+// with fewer warehouses than cores, workers share warehouses).
+func (w *Workload) homeWarehouse(p rt.Proc) uint64 {
+	return uint64(p.ID()%w.cfg.Warehouses) + 1
+}
+
+// partitionOf maps a warehouse to an H-STORE partition ("each partition
+// consists of all the data for a single warehouse", §5.6; with more
+// warehouses than partitions, warehouses fold onto partitions).
+func (w *Workload) partitionOf(wid uint64) int {
+	return int((wid - 1)) % w.db.NParts
+}
+
+// Next implements core.Workload.
+func (w *Workload) Next(p rt.Proc) core.Txn {
+	if p.Rand().Float64() < w.cfg.PaymentPct {
+		t := &w.payments[p.ID()]
+		t.generate(p)
+		return t
+	}
+	t := &w.neworders[p.ID()]
+	t.generate(p)
+	return t
+}
+
+var _ core.Workload = (*Workload)(nil)

@@ -1,0 +1,7 @@
+package zipf
+
+import "math"
+
+// mathPow is a seam for math.Pow, isolated so the hot path documents its
+// single float dependency.
+func mathPow(x, y float64) float64 { return math.Pow(x, y) }
