@@ -1,0 +1,36 @@
+package abyss1000_test
+
+import (
+	"os"
+	"testing"
+
+	"abyss1000/internal/bench"
+)
+
+// TestSimDeterminismGolden is the engine's end-to-end determinism
+// regression test: a small YCSB and TPC-C mix across seven concurrency-
+// control schemes, run twice on the simulated runtime with the same seeds,
+// must produce byte-identical commit counts, abort counts, tuple counts and
+// raw stats.Breakdown buckets — and both runs must match the pinned
+// signature in testdata/golden_sim.txt, so an engine rewrite cannot
+// silently perturb the simulated schedule even if it perturbs it
+// deterministically.
+func TestSimDeterminismGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~11 full simulations")
+	}
+	first := bench.GoldenSignature()
+	second := bench.GoldenSignature()
+	if first != second {
+		t.Fatalf("same-seed runs diverged:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	want, err := os.ReadFile("testdata/golden_sim.txt")
+	if err != nil {
+		t.Fatalf("missing pinned signature: %v (regenerate with `go run ./cmd/goldencheck > testdata/golden_sim.txt`)", err)
+	}
+	if first != string(want) {
+		t.Fatalf("simulated results changed from the pinned signature.\n"+
+			"If this PR intentionally changes the timing model, regenerate with\n"+
+			"`go run ./cmd/goldencheck > testdata/golden_sim.txt` and call it out.\n\ngot:\n%s\nwant:\n%s", first, want)
+	}
+}

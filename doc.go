@@ -12,9 +12,10 @@
 // (internal/history), and a harness regenerating every table and figure
 // of the paper's evaluation (internal/bench, cmd/abyss-bench).
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// per-experiment index, and EXPERIMENTS.md for the paper-vs-measured
-// shape comparison. The benchmarks in bench_test.go exercise one
-// experiment per paper table/figure at a reduced scale suitable for
-// `go test -bench=.`.
+// See README.md for a tour of the packages and commands, and
+// BENCH_sim.json for the simulator engine's benchmark trajectory. The
+// benchmarks in bench_test.go exercise one experiment per paper
+// table/figure at a reduced scale suitable for `go test -bench=.`;
+// determinism_test.go pins the simulator's byte-identical-results
+// guarantee against testdata/golden_sim.txt.
 package abyss1000

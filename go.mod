@@ -1,0 +1,3 @@
+module abyss1000
+
+go 1.24

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/stats"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/tpcc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+// GoldenSignature runs a fixed small YCSB and TPC-C mix on the simulator and
+// returns the complete deterministic signature of the results: commits,
+// aborts, tuples and every raw breakdown bucket, one line per scheme. Two
+// properties are load-bearing:
+//
+//   - It is byte-identical across runs of the same binary (simulator
+//     determinism), which determinism_test.go asserts.
+//   - It is byte-identical across engine rewrites that claim to preserve
+//     scheduling semantics, which testdata/golden_sim.txt pins. If a PR
+//     intentionally changes the timing model, regenerate the file with
+//     `go run ./cmd/goldencheck > testdata/golden_sim.txt` and say so in
+//     the PR; an unexplained diff is a scheduling regression.
+func GoldenSignature() string {
+	var b strings.Builder
+	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000}
+	for _, scheme := range []string{"DL_DETECT", "NO_WAIT", "WAIT_DIE", "TIMESTAMP", "MVCC", "OCC", "HSTORE"} {
+		eng := sim.New(16, 42)
+		db := core.NewDB(eng)
+		ycfg := ycsb.DefaultConfig()
+		ycfg.Rows = 4096
+		ycfg.ReqPerTxn = 8
+		if scheme == "HSTORE" {
+			ycfg.Partitioned = true
+			ycfg.MPFraction = 0.1
+			ycfg.MPParts = 2
+		}
+		wl := ycsb.Build(db, ycfg)
+		writeSig(&b, "ycsb/"+scheme, core.Run(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg))
+	}
+	for _, scheme := range []string{"DL_DETECT", "NO_WAIT", "TIMESTAMP", "MVCC"} {
+		eng := sim.New(8, 7)
+		db := core.NewDB(eng)
+		wl := tpcc.Build(db, tpcc.DefaultConfig(4))
+		writeSig(&b, "tpcc/"+scheme, core.Run(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg))
+	}
+	return b.String()
+}
+
+func writeSig(b *strings.Builder, label string, r core.Result) {
+	fmt.Fprintf(b, "%s commits=%d aborts=%d tuples=%d", label, r.Commits, r.Aborts, r.Tuples)
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		fmt.Fprintf(b, " %s=%d", c, r.Breakdown.Get(c))
+	}
+	b.WriteByte('\n')
+}

@@ -52,6 +52,12 @@ const Frequency = 1e9
 type Chip struct {
 	N    int // number of cores/tiles in use
 	W, H int // grid dimensions
+
+	// tileX/tileY are precomputed per-tile coordinates. Hops sits on the
+	// simulator's per-event path (every wakeup, line transfer and NUCA
+	// access computes one or more distances), so the div/mod of TileOf is
+	// replaced with two table lookups.
+	tileX, tileY []int16
 }
 
 // NewChip builds the grid for n cores. n must be >= 1.
@@ -69,23 +75,29 @@ func NewChip(n int) *Chip {
 	for w*(h-1) >= n {
 		h--
 	}
-	return &Chip{N: n, W: w, H: h}
+	c := &Chip{N: n, W: w, H: h}
+	c.tileX = make([]int16, w*h)
+	c.tileY = make([]int16, w*h)
+	for id := 0; id < w*h; id++ {
+		c.tileX[id] = int16(id % w)
+		c.tileY[id] = int16(id / w)
+	}
+	return c
 }
 
-// TileOf returns the (x, y) coordinate of tile id.
+// TileOf returns the (x, y) coordinate of tile id. Like Hops, it accepts
+// only ids on the grid (0 <= id < W*H).
 func (c *Chip) TileOf(id int) (x, y int) {
-	return id % c.W, id / c.W
+	return int(c.tileX[id]), int(c.tileY[id])
 }
 
 // Hops returns the Manhattan distance in mesh hops between two tiles.
 func (c *Chip) Hops(a, b int) int {
-	ax, ay := c.TileOf(a)
-	bx, by := c.TileOf(b)
-	dx := ax - bx
+	dx := int(c.tileX[a]) - int(c.tileX[b])
 	if dx < 0 {
 		dx = -dx
 	}
-	dy := ay - by
+	dy := int(c.tileY[a]) - int(c.tileY[b])
 	if dy < 0 {
 		dy = -dy
 	}

@@ -98,6 +98,12 @@ type Proc struct {
 	rng    *rand.Rand
 	bd     stats.Breakdown
 	permit chan struct{}
+
+	// pend batches cycles billed by Tick/Sync/Mem*/Park, mirroring the
+	// simulator's accounting fast path: the hot path increments one flat
+	// array and Stats() flushes into the Breakdown (and its per-attempt
+	// bookkeeping) on demand. Only the owning worker touches it.
+	pend [stats.NumComponents]uint64
 }
 
 var _ rt.Proc = (*Proc)(nil)
@@ -111,31 +117,36 @@ func (p *Proc) Now() uint64 { return uint64(time.Since(p.rt.start)) }
 // Rand implements rt.Proc.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
 
-// Stats implements rt.Proc.
-func (p *Proc) Stats() *stats.Breakdown { return &p.bd }
+// Stats implements rt.Proc. It flushes the batched cycle accounting first,
+// so callers always observe (and mutate attempt state against) an
+// up-to-date Breakdown.
+func (p *Proc) Stats() *stats.Breakdown {
+	p.bd.AddPending(&p.pend)
+	return &p.bd
+}
 
 // Tick implements rt.Proc: account modeled cycles only.
-func (p *Proc) Tick(c stats.Component, cycles uint64) { p.bd.Add(c, cycles) }
+func (p *Proc) Tick(c stats.Component, cycles uint64) { p.pend[c] += cycles }
 
 // Sync implements rt.Proc: on real hardware ordering comes from the real
 // primitives, so Sync is just accounting.
-func (p *Proc) Sync(c stats.Component, cycles uint64) { p.bd.Add(c, cycles) }
+func (p *Proc) Sync(c stats.Component, cycles uint64) { p.pend[c] += cycles }
 
 // MemRead implements rt.Proc.
 func (p *Proc) MemRead(c stats.Component, key uint64, bytes uint64) {
-	p.bd.Add(c, 8+bytes/16)
+	p.pend[c] += 8 + bytes/16
 }
 
 // MemWrite implements rt.Proc.
 func (p *Proc) MemWrite(c stats.Component, key uint64, bytes uint64) {
-	p.bd.Add(c, 8+bytes/8)
+	p.pend[c] += 8 + bytes/8
 }
 
 // Park implements rt.Proc.
 func (p *Proc) Park(c stats.Component) {
 	t0 := time.Now()
 	<-p.permit
-	p.bd.Add(c, uint64(time.Since(t0)))
+	p.pend[c] += uint64(time.Since(t0))
 }
 
 // ParkTimeout implements rt.Proc.
@@ -145,10 +156,10 @@ func (p *Proc) ParkTimeout(c stats.Component, cycles uint64) bool {
 	defer timer.Stop()
 	select {
 	case <-p.permit:
-		p.bd.Add(c, uint64(time.Since(t0)))
+		p.pend[c] += uint64(time.Since(t0))
 		return true
 	case <-timer.C:
-		p.bd.Add(c, uint64(time.Since(t0)))
+		p.pend[c] += uint64(time.Since(t0))
 		return false
 	}
 }

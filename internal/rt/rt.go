@@ -44,6 +44,14 @@ type Proc interface {
 	Tick(c stats.Component, cycles uint64)
 
 	// Sync is Tick plus a global ordering point (see type comment).
+	//
+	// Implementations may elide the yield when no other Proc could
+	// legally run before the caller (under simulation: when the live
+	// event-queue minimum is after the caller's (cycle, id) pair). The
+	// elision is unobservable — the schedule, and therefore every
+	// simulated result, is identical to always yielding — so callers
+	// must not rely on Sync giving other Procs a turn unless one is
+	// actually due.
 	Sync(c stats.Component, cycles uint64)
 
 	// Park blocks until another Proc calls Runtime.Unpark on this Proc.
@@ -60,7 +68,11 @@ type Proc interface {
 	// Rand returns this Proc's private deterministic RNG.
 	Rand() *rand.Rand
 
-	// Stats returns this Proc's time breakdown.
+	// Stats returns this Proc's time breakdown. Implementations batch
+	// the cycles billed by Tick/Sync/Park between Stats calls and flush
+	// them here, so all reads of the breakdown — and all attempt
+	// transitions (BeginAttempt/CommitAttempt/AbortAttempt) — must go
+	// through Stats rather than a cached *stats.Breakdown.
 	Stats() *stats.Breakdown
 
 	// MemRead models reading bytes of shared data homed at key (a NUCA

@@ -1,0 +1,119 @@
+package sim
+
+// eventQueue is the engine's pending-resumption queue: an intrusive indexed
+// min-heap of procs ordered by (eventAt, id). It replaces the original lazy-
+// deletion heap of boxed event structs, which accumulated stale entries
+// (every superseding push left a dead one behind) and paid an interface{}
+// allocation per push.
+//
+// Each proc appears at most once; its heap position is stored on the proc
+// itself (heapIdx, -1 when absent), so superseding a pending event is an
+// in-place decrease/increase-key and removal is O(log n) with no tombstones.
+// The invariant that makes the engine's peek-ahead fast path sound: h[0] is
+// always the live global minimum — there is never a stale entry ahead of it.
+type eventQueue struct {
+	h []*Proc
+}
+
+func (q *eventQueue) len() int { return len(q.h) }
+
+// min returns the proc with the smallest (eventAt, id) without removing it.
+// The queue must be non-empty.
+func (q *eventQueue) min() *Proc { return q.h[0] }
+
+// eventLess orders pending events by (eventAt, id), the engine's global
+// resumption order.
+func eventLess(a, b *Proc) bool {
+	if a.eventAt != b.eventAt {
+		return a.eventAt < b.eventAt
+	}
+	return a.id < b.id
+}
+
+// schedule inserts p's resumption at time at, or — if p already has a
+// pending event — moves it in place (decrease- or increase-key).
+func (q *eventQueue) schedule(p *Proc, at uint64) {
+	if i := int(p.heapIdx); i >= 0 {
+		up := at < p.eventAt
+		p.eventAt = at
+		if up {
+			q.siftUp(i)
+		} else {
+			q.siftDown(i)
+		}
+		return
+	}
+	p.eventAt = at
+	p.heapIdx = int32(len(q.h))
+	q.h = append(q.h, p)
+	q.siftUp(len(q.h) - 1)
+}
+
+// remove deletes p's pending event if it has one.
+func (q *eventQueue) remove(p *Proc) {
+	i := int(p.heapIdx)
+	if i < 0 {
+		return
+	}
+	n := len(q.h) - 1
+	last := q.h[n]
+	q.h[n] = nil
+	q.h = q.h[:n]
+	p.heapIdx = -1
+	if i == n {
+		return
+	}
+	q.h[i] = last
+	last.heapIdx = int32(i)
+	if !q.siftDown(i) {
+		q.siftUp(i)
+	}
+}
+
+// popMin removes and returns the proc with the smallest (eventAt, id). The
+// queue must be non-empty.
+func (q *eventQueue) popMin() *Proc {
+	p := q.h[0]
+	q.remove(p)
+	return p
+}
+
+func (q *eventQueue) siftUp(i int) {
+	p := q.h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(p, q.h[parent]) {
+			break
+		}
+		q.h[i] = q.h[parent]
+		q.h[i].heapIdx = int32(i)
+		i = parent
+	}
+	q.h[i] = p
+	p.heapIdx = int32(i)
+}
+
+// siftDown restores heap order below i, reporting whether anything moved.
+func (q *eventQueue) siftDown(i int) bool {
+	p := q.h[i]
+	n := len(q.h)
+	start := i
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(q.h[r], q.h[child]) {
+			child = r
+		}
+		if !eventLess(q.h[child], p) {
+			break
+		}
+		q.h[i] = q.h[child]
+		q.h[i].heapIdx = int32(i)
+		i = child
+	}
+	q.h[i] = p
+	p.heapIdx = int32(i)
+	return i != start
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// checkHeap verifies the heap-order invariant and the intrusive index
+// bookkeeping after every mutation.
+func checkHeap(t *testing.T, q *eventQueue) {
+	t.Helper()
+	for i, p := range q.h {
+		if int(p.heapIdx) != i {
+			t.Fatalf("proc %d at slot %d has heapIdx %d", p.id, i, p.heapIdx)
+		}
+		if parent := (i - 1) / 2; i > 0 && eventLess(p, q.h[parent]) {
+			t.Fatalf("heap order violated at slot %d (proc %d under proc %d)", i, p.id, q.h[parent].id)
+		}
+	}
+}
+
+// TestEventQueueAgainstModel drives the indexed heap with random schedule /
+// reschedule / remove / popMin traffic and cross-checks every observation
+// against a naive model (a map popped by linear scan).
+func TestEventQueueAgainstModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const procs = 33
+	ps := make([]*Proc, procs)
+	for i := range ps {
+		ps[i] = &Proc{id: i, heapIdx: -1}
+	}
+	var q eventQueue
+	model := map[int]uint64{} // proc id -> eventAt
+
+	modelMin := func() int {
+		best := -1
+		for id, at := range model {
+			if best < 0 || at < model[best] || (at == model[best] && id < best) {
+				best = id
+			}
+		}
+		return best
+	}
+
+	for step := 0; step < 20_000; step++ {
+		p := ps[rng.Intn(procs)]
+		switch rng.Intn(4) {
+		case 0, 1: // schedule or reschedule at a random time
+			at := uint64(rng.Intn(1000))
+			q.schedule(p, at)
+			model[p.id] = at
+		case 2:
+			q.remove(p)
+			delete(model, p.id)
+		case 3:
+			if q.len() == 0 {
+				if len(model) != 0 {
+					t.Fatalf("step %d: queue empty but model has %d entries", step, len(model))
+				}
+				continue
+			}
+			want := modelMin()
+			got := q.popMin()
+			if got.id != want || got.eventAt != model[want] {
+				t.Fatalf("step %d: popMin = proc %d @%d, model wants proc %d @%d",
+					step, got.id, got.eventAt, want, model[want])
+			}
+			if got.heapIdx != -1 {
+				t.Fatalf("step %d: popped proc %d still has heapIdx %d", step, got.id, got.heapIdx)
+			}
+			delete(model, want)
+		}
+		if q.len() != len(model) {
+			t.Fatalf("step %d: queue len %d, model len %d", step, q.len(), len(model))
+		}
+		checkHeap(t, &q)
+	}
+
+	// Drain: the queue must yield every remaining entry in (at, id) order.
+	type ent struct {
+		id int
+		at uint64
+	}
+	var want []ent
+	for id, at := range model {
+		want = append(want, ent{id, at})
+	}
+	sort.Slice(want, func(i, j int) bool {
+		if want[i].at != want[j].at {
+			return want[i].at < want[j].at
+		}
+		return want[i].id < want[j].id
+	})
+	for _, w := range want {
+		got := q.popMin()
+		if got.id != w.id || got.eventAt != w.at {
+			t.Fatalf("drain: got proc %d @%d, want proc %d @%d", got.id, got.eventAt, w.id, w.at)
+		}
+	}
+	if q.len() != 0 {
+		t.Fatalf("queue not empty after drain: %d left", q.len())
+	}
+}
+
+// TestEventQueueMinIsLive pins the property the Sync fast path relies on:
+// after any mix of supersessions and removals there are no stale entries,
+// so min() is the true live minimum.
+func TestEventQueueMinIsLive(t *testing.T) {
+	a := &Proc{id: 0, heapIdx: -1}
+	b := &Proc{id: 1, heapIdx: -1}
+	var q eventQueue
+	q.schedule(a, 100)
+	q.schedule(b, 200)
+	if q.min() != a {
+		t.Fatal("min should be a@100")
+	}
+	q.schedule(a, 300) // supersede in place: increase-key
+	if q.min() != b || q.len() != 2 {
+		t.Fatalf("after increase-key, min = proc %d (len %d), want b@200", q.min().id, q.len())
+	}
+	q.schedule(b, 400) // increase past a
+	if q.min() != a || a.eventAt != 300 {
+		t.Fatal("after second increase-key, min should be a@300")
+	}
+	q.schedule(b, 50) // decrease-key below everything
+	if q.min() != b {
+		t.Fatal("after decrease-key, min should be b@50")
+	}
+	q.remove(b)
+	if q.min() != a || q.len() != 1 {
+		t.Fatal("after remove, min should be a@300")
+	}
+	q.remove(b) // removing an absent proc is a no-op
+	if q.len() != 1 {
+		t.Fatal("double remove changed the queue")
+	}
+}

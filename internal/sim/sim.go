@@ -16,10 +16,17 @@
 //     mesh.Line occupancy windows, reproducing the coherence bottlenecks
 //     (timestamp allocation, mutex convoys, lock thrashing) that drive the
 //     paper's results.
+//
+// The engine's hot path is allocation-free. Pending resumptions live in an
+// intrusive indexed heap (eventQueue) whose minimum is always live, so an
+// ordering point where the running core still owns the smallest (cycle, id)
+// pair — the common case — costs one comparison against the queue head
+// instead of a push + park + resume round trip through the Go scheduler.
+// Scheduling order is identical to the naive push-then-pop engine: the fast
+// path fires exactly when popping would have returned the pushing core.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 
@@ -36,41 +43,13 @@ const wakeLatencyBase = mesh.LineOpCycles
 type Engine struct {
 	chip  *mesh.Chip
 	procs []*Proc
-	queue eventHeap
+	queue eventQueue
 	seed  int64
 
 	doneCount int
 	doneCh    chan struct{}
 	started   bool
 	stalled   bool
-}
-
-// event is a pending resumption of a proc at a simulated time. seq
-// deduplicates: only the entry whose seq matches the proc's current seq is
-// live, so each proc has at most one live entry.
-type event struct {
-	at  uint64
-	id  int
-	seq uint64
-}
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].id < h[j].id
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
 }
 
 // New creates an engine simulating n cores with the given RNG seed.
@@ -80,13 +59,15 @@ func New(n int, seed int64) *Engine {
 		doneCh: make(chan struct{}),
 		seed:   seed,
 	}
+	e.queue.h = make([]*Proc, 0, n)
 	e.procs = make([]*Proc, n)
 	for i := 0; i < n; i++ {
 		e.procs[i] = &Proc{
-			id:     i,
-			eng:    e,
-			resume: make(chan struct{}, 1),
-			rng:    rand.New(rand.NewSource(seed + int64(i)*0x9e3779b9)),
+			id:      i,
+			eng:     e,
+			heapIdx: -1,
+			resume:  make(chan struct{}, 1),
+			rng:     rand.New(rand.NewSource(seed + int64(i)*0x9e3779b9)),
 		}
 	}
 	return e
@@ -105,26 +86,15 @@ func (e *Engine) Frequency() float64 { return mesh.Frequency }
 // Proc returns simulated core i (useful in tests).
 func (e *Engine) Proc(i int) *Proc { return e.procs[i] }
 
-// push registers p's next resumption at time at, superseding any previous
-// entry for p.
-func (e *Engine) push(p *Proc, at uint64) {
-	p.seq++
-	heap.Push(&e.queue, event{at: at, id: p.id, seq: p.seq})
-}
-
-// schedule pops the next live event and prepares its proc for resumption,
-// returning nil when every proc has finished or when the simulation has
-// globally stalled (live procs exist but none is scheduled — a protocol bug
-// such as a lost wakeup or an undetected deadlock; Run panics in that case,
-// on its caller's goroutine).
+// schedule pops the next pending event and prepares its proc for
+// resumption, returning nil when every proc has finished or when the
+// simulation has globally stalled (live procs exist but none is scheduled —
+// a protocol bug such as a lost wakeup or an undetected deadlock; Run
+// panics in that case, on its caller's goroutine).
 func (e *Engine) schedule() *Proc {
-	for e.queue.Len() > 0 {
-		ev := heap.Pop(&e.queue).(event)
-		p := e.procs[ev.id]
-		if ev.seq != p.seq || p.done {
-			continue // stale entry
-		}
-		p.resumeAt = ev.at
+	if e.queue.len() > 0 {
+		p := e.queue.popMin()
+		p.resumeAt = p.eventAt
 		return p
 	}
 	if e.doneCount != len(e.procs) {
@@ -134,7 +104,7 @@ func (e *Engine) schedule() *Proc {
 }
 
 // handoff transfers the baton from p to the next scheduled proc. p must
-// have already pushed its own next event if it expects to run again.
+// have already scheduled its own next event if it expects to run again.
 func (e *Engine) handoff(p *Proc) {
 	next := e.schedule()
 	if next == p {
@@ -167,7 +137,7 @@ func (e *Engine) Run(body func(p rt.Proc)) {
 	}
 	e.started = true
 	for _, p := range e.procs {
-		e.push(p, p.now)
+		e.queue.schedule(p, p.now)
 	}
 	for _, p := range e.procs {
 		p := p
@@ -176,7 +146,7 @@ func (e *Engine) Run(body func(p rt.Proc)) {
 			p.now = p.resumeAt
 			body(p)
 			p.done = true
-			p.seq++ // invalidate any pending entries
+			e.queue.remove(p) // drop any leftover deadline entry
 			e.doneCount++
 			e.handoff(p)
 		}()
@@ -202,10 +172,23 @@ type Proc struct {
 	rng *rand.Rand
 	bd  stats.Breakdown
 
+	// pend batches cycles billed by Tick/Sync/Park so the per-cycle path
+	// touches one flat array instead of Breakdown's attempt bookkeeping.
+	// It is flushed into bd by Stats(), which is how all attempt
+	// transitions (Begin/Commit/AbortAttempt) and breakdown reads reach
+	// the Breakdown — so every flushed cycle lands under the same
+	// in-attempt state it was billed under, and totals are bit-identical
+	// to unbatched accounting.
+	pend [stats.NumComponents]uint64
+
 	resume   chan struct{}
 	resumeAt uint64
-	seq      uint64
-	done     bool
+
+	// eventAt/heapIdx are the proc's intrusive slot in the engine's
+	// eventQueue; heapIdx is -1 while the proc has no pending event.
+	eventAt uint64
+	heapIdx int32
+	done    bool
 
 	// Parking state (permit semantics, see rt.Proc).
 	parked      bool
@@ -225,24 +208,44 @@ func (p *Proc) Now() uint64 { return p.now }
 // Rand implements rt.Proc.
 func (p *Proc) Rand() *rand.Rand { return p.rng }
 
-// Stats implements rt.Proc.
-func (p *Proc) Stats() *stats.Breakdown { return &p.bd }
+// Stats implements rt.Proc. It flushes the batched cycle accounting first,
+// so callers always observe (and mutate attempt state against) an
+// up-to-date Breakdown.
+func (p *Proc) Stats() *stats.Breakdown {
+	p.bd.AddPending(&p.pend)
+	return &p.bd
+}
 
 // Tick implements rt.Proc: advance the local clock without yielding. Use
 // for core-local work (application logic, private-buffer copies).
 func (p *Proc) Tick(c stats.Component, cycles uint64) {
 	p.now += cycles
-	p.bd.Add(c, cycles)
+	p.pend[c] += cycles
 }
 
 // Sync implements rt.Proc: advance the clock and yield so that the engine
 // can run any core whose clock is behind ours. Code performing an access to
 // shared simulation state calls Sync first; the access then occurs in
 // global simulated-time order.
+//
+// Fast path: if the queue's live minimum is after (p.now, p.id), no other
+// core could legally run before p, so pushing p and immediately popping it
+// back would be a no-op — Sync returns without touching the queue. This is
+// exact, not heuristic: the eventQueue holds no stale entries, so the
+// comparison against its head decides precisely what the push-then-pop
+// engine would have decided.
 func (p *Proc) Sync(c stats.Component, cycles uint64) {
-	p.Tick(c, cycles)
-	p.eng.push(p, p.now)
-	p.eng.handoff(p)
+	p.now += cycles
+	p.pend[c] += cycles
+	e := p.eng
+	if e.queue.len() == 0 {
+		return
+	}
+	if m := e.queue.min(); m.eventAt > p.now || (m.eventAt == p.now && m.id > p.id) {
+		return
+	}
+	e.queue.schedule(p, p.now)
+	e.handoff(p)
 }
 
 // MemRead implements rt.Proc: a NUCA L2 access to the slice homing key,
@@ -269,12 +272,12 @@ func (p *Proc) Park(c stats.Component) {
 	p.parked = true
 	p.parkedAt = p.now
 	p.wakePending = false
-	p.seq++ // invalidate any previous entry; we have no deadline
+	p.eng.queue.remove(p) // no deadline: only an Unpark may reschedule us
 	p.eng.handoff(p)
 	// Resumed by an Unpark: resumeAt was set by schedule().
 	p.parked = false
 	p.wakePending = false
-	p.bd.Add(c, p.now-p.parkedAt)
+	p.pend[c] += p.now - p.parkedAt
 }
 
 // ParkTimeout implements rt.Proc.
@@ -287,18 +290,20 @@ func (p *Proc) ParkTimeout(c stats.Component, cycles uint64) bool {
 	p.parked = true
 	p.parkedAt = p.now
 	p.wakePending = false
-	p.eng.push(p, p.now+cycles) // deadline entry
+	p.eng.queue.schedule(p, p.now+cycles) // deadline entry
 	p.eng.handoff(p)
 	woken := p.wakePending
 	p.parked = false
 	p.wakePending = false
-	p.bd.Add(c, p.now-p.parkedAt)
+	p.pend[c] += p.now - p.parkedAt
 	return woken
 }
 
 // Unpark implements rt.Runtime's wakeup on behalf of waker. If target is
 // parked it is scheduled at max(parkedAt, waker.Now()+delivery); otherwise a
-// permit is left for target's next Park.
+// permit is left for target's next Park. A pending ParkTimeout deadline is
+// superseded in place (decrease- or increase-key) rather than shadowed by a
+// second entry.
 func (e *Engine) Unpark(waker rt.Proc, target rt.Proc) {
 	t := target.(*Proc)
 	if !t.parked {
@@ -318,7 +323,7 @@ func (e *Engine) Unpark(waker rt.Proc, target rt.Proc) {
 		wakeAt = t.parkedAt
 	}
 	t.wakePending = true
-	e.push(t, wakeAt)
+	e.queue.schedule(t, wakeAt)
 }
 
 // latch is the simulated rt.Latch: a test-and-set word on a shared cache

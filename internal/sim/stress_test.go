@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"testing"
+
+	"abyss1000/internal/rt"
+	"abyss1000/internal/stats"
+)
+
+// TestParkUnparkStress randomly interleaves Tick, Sync, Park, ParkTimeout
+// and Unpark across many cores to hunt lost-wakeup and queue-corruption
+// bugs in the indexed event queue: a proc left parked with no pending event
+// and no waker trips the engine's global-stall panic, a corrupted heap
+// breaks the monotonic-clock invariant, and a superseded deadline that
+// fires anyway breaks the ParkTimeout postconditions checked below.
+//
+// One dedicated waker core never parks; it sweeps Unpark over every other
+// core until all of them have finished, so plain (deadline-less) Park is
+// always eventually woken and the test cannot stall by construction — any
+// stall that does happen is an engine bug.
+func TestParkUnparkStress(t *testing.T) {
+	const (
+		cores = 24
+		iters = 400
+	)
+	run := func(seed int64) []uint64 {
+		e := New(cores, seed)
+		finished := 0
+		ends := make([]uint64, cores)
+		e.Run(func(p rt.Proc) {
+			if p.ID() == 0 {
+				// Waker: sweep wakeups until every sleeper is done.
+				for finished < cores-1 {
+					p.Tick(stats.Useful, uint64(p.Rand().Intn(40)+1))
+					for i := 1; i < cores; i++ {
+						if p.Rand().Intn(3) == 0 {
+							e.Unpark(p, e.Proc(i))
+						}
+					}
+					p.Sync(stats.Useful, 0)
+				}
+				ends[0] = p.Now()
+				return
+			}
+			prev := p.Now()
+			for k := 0; k < iters; k++ {
+				switch p.Rand().Intn(5) {
+				case 0:
+					p.Tick(stats.Useful, uint64(p.Rand().Intn(30)))
+				case 1:
+					p.Sync(stats.Manager, uint64(p.Rand().Intn(30)))
+				case 2:
+					// Wake a random sibling (or leave it a permit).
+					e.Unpark(p, e.Proc(1+p.Rand().Intn(cores-1)))
+				case 3:
+					timeout := uint64(p.Rand().Intn(200) + 1)
+					before := p.Now()
+					woken := p.ParkTimeout(stats.Wait, timeout)
+					if !woken && p.Now() != before+timeout {
+						t.Errorf("proc %d: timed-out ParkTimeout resumed at %d, want exactly %d", p.ID(), p.Now(), before+timeout)
+					}
+					if woken && p.Now() < before {
+						t.Errorf("proc %d: woken before it parked", p.ID())
+					}
+				case 4:
+					before := p.Now()
+					p.Park(stats.Wait)
+					if p.Now() < before {
+						t.Errorf("proc %d: Park resumed in the past", p.ID())
+					}
+				}
+				if p.Now() < prev {
+					t.Errorf("proc %d: clock went backwards %d -> %d", p.ID(), prev, p.Now())
+				}
+				prev = p.Now()
+			}
+			finished++
+			ends[p.ID()] = p.Now()
+		})
+		return ends
+	}
+
+	for seed := int64(1); seed <= 5; seed++ {
+		a := run(seed)
+		b := run(seed)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d nondeterministic: proc %d ended at %d vs %d", seed, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestUnparkSupersedesDeadlineInPlace pins the in-place key-update path: a
+// waker whose delivery time lands after the sleeper's deadline must still
+// win (the wake supersedes the deadline entry, increase-key), and one that
+// lands before it must shorten the sleep (decrease-key).
+func TestUnparkSupersedesDeadlineInPlace(t *testing.T) {
+	// Decrease-key: wake arrives well before the deadline.
+	e := New(2, 1)
+	e.Run(func(p rt.Proc) {
+		if p.ID() == 0 {
+			woken := p.ParkTimeout(stats.Wait, 100_000)
+			if !woken {
+				t.Error("early wake reported as timeout")
+			}
+			if p.Now() >= 100_000 {
+				t.Errorf("woken at %d, after the deadline", p.Now())
+			}
+		} else {
+			p.Tick(stats.Useful, 500)
+			p.Sync(stats.Useful, 0)
+			e.Unpark(p, e.Proc(0))
+		}
+	})
+
+	// Increase-key: the waker's clock is already past the deadline when it
+	// delivers the wake, so the sleeper resumes late but woken.
+	e2 := New(2, 1)
+	e2.Run(func(p rt.Proc) {
+		if p.ID() == 0 {
+			before := p.Now()
+			woken := p.ParkTimeout(stats.Wait, 300)
+			if !woken {
+				t.Error("superseding wake reported as timeout")
+			}
+			if p.Now() < before+300 {
+				t.Errorf("woken at %d, before the superseded deadline %d", p.Now(), before+300)
+			}
+		} else {
+			// Run past proc 0's deadline without an ordering point, then
+			// wake it: the wake must replace the stale deadline entry.
+			p.Tick(stats.Useful, 10_000)
+			e2.Unpark(p, e2.Proc(0))
+			p.Sync(stats.Useful, 0)
+		}
+	})
+}

@@ -74,6 +74,20 @@ func (b *Breakdown) Add(c Component, cycles uint64) {
 	}
 }
 
+// AddPending drains a batch of per-component cycles into b, billing each
+// non-zero bucket as one Add under the current attempt state. Runtimes that
+// batch their hot-path accounting (sim, native) flush through this before
+// exposing the Breakdown, so batched and unbatched billing are
+// bit-identical.
+func (b *Breakdown) AddPending(pend *[NumComponents]uint64) {
+	for c, v := range pend {
+		if v != 0 {
+			b.Add(Component(c), v)
+			pend[c] = 0
+		}
+	}
+}
+
 // BeginAttempt opens a new transaction attempt. Cycles billed until
 // EndAttempt are tracked so an abort can re-bill them.
 func (b *Breakdown) BeginAttempt() {
