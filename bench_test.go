@@ -23,14 +23,15 @@ func benchParams() bench.Params {
 	}
 }
 
-// reportFigure re-runs the figure b.N times and reports the last series'
-// top-core throughput.
+// reportFigure re-runs the figure b.N times (serially — parallel-runner
+// equivalence is pinned by the bench package's own tests) and reports the
+// last series' top-core throughput.
 func reportFigure(b *testing.B, run bench.FigureFunc) {
 	b.Helper()
 	p := benchParams()
 	var fig *bench.Figure
 	for i := 0; i < b.N; i++ {
-		fig = run(p)
+		fig = bench.Build(run, p, nil)
 	}
 	if fig == nil || len(fig.Series) == 0 {
 		b.Fatal("figure produced no series")

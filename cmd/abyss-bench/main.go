@@ -2,19 +2,30 @@
 //
 // Usage:
 //
-//	abyss-bench -fig 6              # one experiment, quick scale
-//	abyss-bench -fig 9 -full       # one experiment at 1024 cores
-//	abyss-bench -all                # the whole evaluation, quick scale
-//	abyss-bench -table 2            # the bottleneck-summary table
-//	abyss-bench -list               # enumerate experiments
+//	abyss-bench -fig 6                  # one experiment, quick scale
+//	abyss-bench -fig 9 -full            # one experiment at 1024 cores
+//	abyss-bench -all                    # the whole evaluation, quick scale
+//	abyss-bench -all -json > run.json   # ... as machine-readable JSON
+//	abyss-bench -fig 11 -csv > f11.csv  # one experiment, flat CSV points
+//	abyss-bench -table 2                # the bottleneck-summary table
+//	abyss-bench -list                   # enumerate experiments
 //
-// Every run is deterministic for a given -seed.
+// Data points execute on a worker pool (-parallel, default GOMAXPROCS);
+// progress and timing go to stderr, results to stdout. Every run is
+// deterministic for a given -seed: -parallel 1 and -parallel N produce
+// byte-identical figure text, JSON and CSV. -json emits every point's
+// full core.Result (commits, aborts, tuples, six-component cycle
+// breakdown) plus run metadata; -csv flattens the same points into one
+// row each. EXPERIMENTS.md documents what every experiment reproduces
+// and the exact command for each.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"abyss1000/internal/bench"
@@ -22,29 +33,45 @@ import (
 
 func main() {
 	var (
-		figID   = flag.String("fig", "", "experiment id to run (3-17, malloc)")
-		tableID = flag.Int("table", 0, "print table N (1 or 2)")
-		all     = flag.Bool("all", false, "run every experiment")
-		full    = flag.Bool("full", false, "paper scale (1024 cores); default is quick scale")
-		list    = flag.Bool("list", false, "list experiments")
-		seed    = flag.Int64("seed", 42, "determinism seed")
-		cores   = flag.Int("maxcores", 0, "override the top of the core ladder")
+		figID    = flag.String("fig", "", fmt.Sprintf("experiment id to run (one of: %s)", strings.Join(bench.IDs(), ", ")))
+		tableID  = flag.Int("table", 0, "print table N (1 or 2)")
+		all      = flag.Bool("all", false, "run every experiment")
+		full     = flag.Bool("full", false, "paper scale (1024 cores); default is quick scale")
+		list     = flag.Bool("list", false, "list experiments")
+		seed     = flag.Int64("seed", 42, "determinism seed")
+		cores    = flag.Int("maxcores", 0, "override the top of the core ladder")
+		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for data points; 1 = serial")
+		jsonOut  = flag.Bool("json", false, "emit the run as JSON on stdout (suppresses figure text)")
+		csvOut   = flag.Bool("csv", false, "emit every data point as a CSV row on stdout (suppresses figure text)")
+		quiet    = flag.Bool("quiet", false, "suppress progress reporting on stderr")
 	)
 	flag.Parse()
 
+	if *jsonOut && *csvOut {
+		fmt.Fprintln(os.Stderr, "abyss-bench: -json and -csv are mutually exclusive")
+		os.Exit(2)
+	}
+	if (*jsonOut || *csvOut) && (*list || *tableID != 0) {
+		fmt.Fprintln(os.Stderr, "abyss-bench: -json/-csv apply to experiment runs (-fig, -all), not -list/-table")
+		os.Exit(2)
+	}
+
 	params := bench.Quick()
+	scale := "quick"
 	if *full {
 		params = bench.Full()
+		scale = "full"
 	}
 	params.Seed = *seed
 	if *cores > 0 {
 		params.MaxCores = *cores
+		scale = "custom"
 	}
 
 	switch {
 	case *list:
 		for _, e := range bench.Registry {
-			fmt.Printf("  -fig %-7s %s\n", e.ID, e.Desc)
+			fmt.Printf("  -fig %-15s %s\n", e.ID, e.Desc)
 		}
 		return
 	case *tableID == 1:
@@ -53,19 +80,19 @@ func main() {
 	case *tableID == 2:
 		fmt.Print(bench.Table2(params))
 		return
-	case *all:
-		for _, e := range bench.Registry {
-			runOne(e.ID, e.Run, params)
+	case *all || *figID != "":
+		var experiments []bench.Experiment
+		if *all {
+			experiments = bench.Registry
+		} else {
+			e, err := bench.Lookup(*figID)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			experiments = []bench.Experiment{e}
 		}
-		fmt.Print(bench.Table2(params))
-		return
-	case *figID != "":
-		run, err := bench.Lookup(*figID)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		runOne(*figID, run, params)
+		runExperiments(experiments, params, scale, *parallel, *jsonOut, *csvOut, *quiet, *all)
 		return
 	default:
 		flag.Usage()
@@ -73,11 +100,57 @@ func main() {
 	}
 }
 
-func runOne(id string, run bench.FigureFunc, params bench.Params) {
+// runExperiments executes the selected experiments on the worker pool and
+// writes the requested output format to stdout.
+func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, jsonOut, csvOut, quiet, withTable2 bool) {
+	runner := &bench.Runner{Workers: parallel}
+	if !quiet {
+		runner.OnProgress = progressPrinter()
+	}
+
 	start := time.Now()
-	fig := run(params)
-	fmt.Print(fig.Format())
-	fmt.Printf("   [experiment %s took %v at max %d cores]\n\n", id, time.Since(start).Round(time.Millisecond), params.MaxCores)
+	figs := bench.BuildAll(experiments, params, runner)
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "\r%-78s\r[%d experiments in %v, %d workers, max %d cores]\n",
+			"", len(experiments), time.Since(start).Round(time.Millisecond), runner.Workers, params.MaxCores)
+	}
+
+	meta := bench.RunMeta{Paper: "Staring into the Abyss (VLDB 2014)", Scale: scale, Params: params}
+	rep := bench.NewReport(meta, experiments, figs)
+	if withTable2 {
+		rep.Table2 = bench.Table2(params)
+	}
+
+	switch {
+	case jsonOut:
+		b, err := rep.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abyss-bench: encoding JSON:", err)
+			os.Exit(1)
+		}
+		os.Stdout.Write(b)
+	case csvOut:
+		fmt.Print(rep.CSV())
+	default:
+		for _, fig := range figs {
+			fmt.Print(fig.Format())
+			fmt.Println()
+		}
+		if withTable2 {
+			fmt.Print(rep.Table2)
+		}
+	}
+}
+
+// progressPrinter renders N/M + ETA progress lines in place on stderr.
+func progressPrinter() func(bench.Progress) {
+	return func(pr bench.Progress) {
+		line := fmt.Sprintf("[%d/%d] %s  elapsed %v", pr.Done, pr.Total, pr.Last.Label(), pr.Elapsed.Round(time.Second))
+		if pr.Remaining > 0 {
+			line += fmt.Sprintf("  eta %v", pr.Remaining.Round(time.Second))
+		}
+		fmt.Fprintf(os.Stderr, "\r%-78s", line)
+	}
 }
 
 const table1 = `== Table 1: Concurrency control schemes ==

@@ -12,6 +12,13 @@
 // (internal/history), and a harness regenerating every table and figure
 // of the paper's evaluation (internal/bench, cmd/abyss-bench).
 //
+// The evaluation harness is two-phase: figures enumerate one
+// self-describing job per data point and a worker pool executes the flat
+// job list (-parallel), with -json/-csv emitting every point's full
+// result. Serial and parallel runs are byte-identical. EXPERIMENTS.md
+// documents, per paper figure, the expected curve shapes and the exact
+// command reproducing each.
+//
 // See README.md for a tour of the packages and commands, and
 // BENCH_sim.json for the simulator engine's benchmark trajectory. The
 // benchmarks in bench_test.go exercise one experiment per paper

@@ -4,11 +4,20 @@
 // x-values down the side, one column per series, plus the time-breakdown
 // tables for the figures that include them.
 //
+// Execution is two-phase (see runner.go): figure functions enumerate
+// self-describing Jobs — one per data point — through a Plan, a Runner
+// executes the flat job list across a worker pool, and the figure is
+// reassembled from the completed results. Serial (-parallel 1) and
+// parallel builds are byte-identical because every Job carries its own
+// seed and constructs all its state itself. Build, BuildAll and
+// Experiment.Build are the entry points; output.go adds the JSON/CSV
+// serializations behind `abyss-bench -json`/`-csv`.
+//
 // Experiments run at a configurable scale: Quick() keeps the full suite
 // in minutes on a laptop; Full() climbs to 1024 simulated cores with the
 // paper's parameters. Absolute throughputs differ from the paper (our
 // timing model is not Graphite); EXPERIMENTS.md records the shape
-// comparison per figure.
+// comparison per figure along with the exact command reproducing each.
 package bench
 
 import (
@@ -21,37 +30,36 @@ import (
 	"abyss1000/internal/cc/to"
 	"abyss1000/internal/cc/twopl"
 	"abyss1000/internal/core"
-	"abyss1000/internal/sim"
 	"abyss1000/internal/stats"
 	"abyss1000/internal/tsalloc"
-	"abyss1000/internal/workload/tpcc"
-	"abyss1000/internal/workload/ycsb"
 )
 
-// Params sizes an experiment run.
+// Params sizes an experiment run. The json tags define its stable
+// serialization in the -json report metadata.
 type Params struct {
 	// MaxCores is the top of the core-count ladder (the paper's is
 	// 1024).
-	MaxCores int
+	MaxCores int `json:"max_cores"`
 
 	// WarmupCycles and MeasureCycles size each data point's simulated
 	// window.
-	WarmupCycles  uint64
-	MeasureCycles uint64
+	WarmupCycles  uint64 `json:"warmup_cycles"`
+	MeasureCycles uint64 `json:"measure_cycles"`
 
 	// Rows is the YCSB table size.
-	Rows int
+	Rows int `json:"rows"`
 
 	// FieldSize scales YCSB tuples (paper: 100 bytes × 10 columns).
-	FieldSize int
+	FieldSize int `json:"field_size"`
 
 	// NativeWarmupNS and NativeMeasureNS size the wall-clock windows of
 	// the Fig. 3 native-hardware runs.
-	NativeWarmupNS  uint64
-	NativeMeasureNS uint64
+	NativeWarmupNS  uint64 `json:"native_warmup_ns"`
+	NativeMeasureNS uint64 `json:"native_measure_ns"`
 
-	// Seed makes every experiment deterministic.
-	Seed int64
+	// Seed makes every experiment deterministic. Every enumerated Job
+	// carries this seed; the engines derive per-core streams from it.
+	Seed int64 `json:"seed"`
 }
 
 // Quick returns parameters that run the full suite in a few minutes.
@@ -150,7 +158,8 @@ func MakeScheme(name string, m tsalloc.Method) core.Scheme {
 	}
 }
 
-// Point is one measured (x, y) pair with the full result attached.
+// Point is one measured (x, y) pair with the full result attached. Its
+// JSON form (output.go) adds the derived throughput and abort fraction.
 type Point struct {
 	X   float64
 	Y   float64
@@ -159,32 +168,33 @@ type Point struct {
 
 // Series is one line of a figure.
 type Series struct {
-	Name   string
-	Points []Point
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
 }
 
 // Breakdown is one figure's per-scheme time breakdown table (the "(b)"
 // subfigures).
 type Breakdown struct {
-	Title string
-	Rows  []BreakdownRow
+	Title string         `json:"title"`
+	Rows  []BreakdownRow `json:"rows"`
 }
 
-// BreakdownRow is one scheme's six component fractions.
+// BreakdownRow is one scheme's six component fractions, in
+// stats.Component order.
 type BreakdownRow struct {
-	Scheme    string
-	Fractions [stats.NumComponents]float64
+	Scheme    string                       `json:"scheme"`
+	Fractions [stats.NumComponents]float64 `json:"fractions"`
 }
 
 // Figure is a rendered experiment.
 type Figure struct {
-	ID         string
-	Title      string
-	XLabel     string
-	YLabel     string
-	Series     []Series
-	Breakdowns []Breakdown
-	Notes      string
+	ID         string      `json:"id"`
+	Title      string      `json:"title"`
+	XLabel     string      `json:"x_label"`
+	YLabel     string      `json:"y_label"`
+	Series     []Series    `json:"series"`
+	Breakdowns []Breakdown `json:"breakdowns,omitempty"`
+	Notes      string      `json:"notes,omitempty"`
 }
 
 // value extracts the figure's y-value from a result; overridable per
@@ -241,22 +251,6 @@ func (f *Figure) Format() string {
 // addPoint appends a measured point with its display value.
 func (s *Series) addPoint(x float64, r core.Result, f yExtract) {
 	s.Points = append(s.Points, Point{X: x, Y: f(r), Res: r})
-}
-
-// runYCSBSim executes one YCSB configuration on the simulator.
-func runYCSBSim(cores int, scheme core.Scheme, ycfg ycsb.Config, ccfg core.Config, seed int64) core.Result {
-	eng := sim.New(cores, seed)
-	db := core.NewDB(eng)
-	wl := ycsb.Build(db, ycfg)
-	return core.Run(db, scheme, wl, ccfg)
-}
-
-// runTPCCSim executes one TPC-C configuration on the simulator.
-func runTPCCSim(cores int, scheme core.Scheme, tcfg tpcc.Config, ccfg core.Config, seed int64) core.Result {
-	eng := sim.New(cores, seed)
-	db := core.NewDB(eng)
-	wl := tpcc.Build(db, tcfg)
-	return core.Run(db, scheme, wl, ccfg)
 }
 
 // breakdownRows collects the per-scheme breakdown at one data point.

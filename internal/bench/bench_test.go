@@ -131,7 +131,7 @@ func TestTinyEndToEndFigure(t *testing.T) {
 		FieldSize:     20,
 		Seed:          1,
 	}
-	fig := Fig11(p)
+	fig := Build(Fig11, p, nil)
 	if len(fig.Series) != len(SchemeNames) {
 		t.Fatalf("series count %d", len(fig.Series))
 	}

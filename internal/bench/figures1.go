@@ -6,10 +6,6 @@ import (
 
 	"abyss1000/internal/cc/twopl"
 	"abyss1000/internal/core"
-	"abyss1000/internal/native"
-	"abyss1000/internal/rt"
-	"abyss1000/internal/sim"
-	"abyss1000/internal/stats"
 	"abyss1000/internal/tsalloc"
 	"abyss1000/internal/workload/ycsb"
 )
@@ -25,8 +21,11 @@ func (p Params) ycsbBase() ycsb.Config {
 // Fig3 reproduces "Simulator vs. Real Hardware": the same read-intensive
 // medium-contention YCSB workload under every scheme, once on the
 // simulator and once on real goroutines, up to the host's core count. The
-// claim under test is trend agreement, not absolute speed.
-func Fig3(p Params) *Figure {
+// claim under test is trend agreement, not absolute speed. The native
+// points are wall-clock measurements, so their jobs are Exclusive (the
+// runner never overlaps them with other work) and their values vary
+// run-to-run even at a fixed seed.
+func Fig3(p Params, pl *Plan) *Figure {
 	ycfg := p.ycsbBase()
 	ycfg.ReadPct = 0.9
 	ycfg.Theta = 0.6
@@ -51,15 +50,10 @@ func Fig3(p Params) *Figure {
 		simSeries := Series{Name: "sim:" + name}
 		natSeries := Series{Name: "native:" + name}
 		for _, c := range cores {
-			r := runYCSBSim(c, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, c, ycfg))
 			simSeries.addPoint(float64(c), r, throughputM)
 
-			rtm := native.New(c, p.Seed)
-			db := core.NewDB(rtm)
-			wl := ycsb.Build(db, ycfg)
-			// Native windows are wall-clock nanoseconds.
-			ncfg := core.Config{WarmupCycles: p.NativeWarmupNS, MeasureCycles: p.NativeMeasureNS, AbortBackoff: 1000}
-			nr := core.Run(db, MakeScheme(name, tsalloc.Atomic), wl, ncfg)
+			nr := pl.Run(p.nativeJob(name, c, ycfg))
 			natSeries.addPoint(float64(c), nr, throughputM)
 		}
 		fig.Series = append(fig.Series, simSeries, natSeries)
@@ -71,7 +65,7 @@ func Fig3(p Params) *Figure {
 // transactions acquiring locks in primary-key order, under three
 // contention levels. Throughput climbs then collapses as core counts and
 // skew grow — the fundamental 2PL bottleneck.
-func Fig4(p Params) *Figure {
+func Fig4(p Params, pl *Plan) *Figure {
 	fig := &Figure{
 		ID:     "Fig 4",
 		Title:  "Lock Thrashing (DL_DETECT, no detection, key-ordered acquisition, write-intensive YCSB)",
@@ -85,8 +79,7 @@ func Fig4(p Params) *Figure {
 		ycfg.Ordered = true
 		s := Series{Name: fmt.Sprintf("theta=%.1f", theta)}
 		for _, c := range p.Ladder() {
-			scheme := twopl.NewWithTimeout(twopl.NoTimeout, true)
-			r := runYCSBSim(c, scheme, ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.timeoutJob(twopl.NoTimeout, true, c, ycfg))
 			s.addPoint(float64(c), r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -97,7 +90,7 @@ func Fig4(p Params) *Figure {
 // Fig5 reproduces "Waiting vs. Aborting": DL_DETECT under high contention
 // at 64 cores, sweeping the wait timeout from 0 (equivalent to NO_WAIT)
 // upward. Short timeouts trade abort rate for throughput.
-func Fig5(p Params) *Figure {
+func Fig5(p Params, pl *Plan) *Figure {
 	ycfg := p.ycsbBase()
 	ycfg.ReadPct = 0.5
 	ycfg.Theta = 0.8
@@ -116,11 +109,7 @@ func Fig5(p Params) *Figure {
 	thr := Series{Name: "throughput"}
 	abr := Series{Name: "abort-fraction"}
 	for _, timeout := range []uint64{0, 1_000, 10_000, 100_000, 1_000_000} {
-		scheme := twopl.NewWithTimeout(timeout, false)
-		if timeout == 0 {
-			scheme = twopl.NewWithTimeout(0, false)
-		}
-		r := runYCSBSim(cores, scheme, ycfg, p.coreConfig(), p.Seed)
+		r := pl.Run(p.timeoutJob(timeout, false, cores, ycfg))
 		x := float64(timeout) / 1000.0 // cycles -> µs at 1 GHz
 		thr.addPoint(x, r, throughputM)
 		abr.addPoint(x, r, func(r core.Result) float64 { return r.AbortFraction() })
@@ -133,7 +122,7 @@ func Fig5(p Params) *Figure {
 // allocates timestamps back-to-back; throughput per method versus core
 // count. The atomic counter plateaus on coherence traffic, the hardware
 // counter reaches ~1 ts/cycle, the clock scales linearly.
-func Fig6(p Params) *Figure {
+func Fig6(p Params, pl *Plan) *Figure {
 	fig := &Figure{
 		ID:     "Fig 6",
 		Title:  "Timestamp Allocation Micro-benchmark",
@@ -143,27 +132,7 @@ func Fig6(p Params) *Figure {
 	for _, m := range tsalloc.Methods {
 		s := Series{Name: m.String()}
 		for _, c := range p.Ladder() {
-			eng := sim.New(c, p.Seed)
-			alloc := tsalloc.New(m, eng)
-			end := p.MeasureCycles
-			counts := make([]uint64, c)
-			eng.Run(func(pr rt.Proc) {
-				for pr.Now() < end {
-					alloc.Next(pr)
-					counts[pr.ID()]++
-				}
-			})
-			var total uint64
-			for _, n := range counts {
-				total += n
-			}
-			res := core.Result{
-				Scheme:        m.String(),
-				Workers:       c,
-				Commits:       total,
-				MeasureCycles: end,
-				Frequency:     eng.Frequency(),
-			}
+			res := pl.Run(p.tsallocJob(m, c))
 			s.addPoint(float64(c), res, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -175,7 +144,7 @@ func Fig6(p Params) *Figure {
 // scheme on write-intensive YCSB with each allocation method, at zero and
 // medium contention. Batched allocation collapses under contention
 // because restarted transactions keep drawing stale-batch timestamps.
-func Fig7(p Params) *Figure {
+func Fig7(p Params, pl *Plan) *Figure {
 	fig := &Figure{
 		ID:     "Fig 7",
 		Title:  "Timestamp Allocation in the DBMS (YCSB write-intensive, TIMESTAMP)",
@@ -195,7 +164,7 @@ func Fig7(p Params) *Figure {
 			ycfg.Theta = sub.theta
 			s := Series{Name: fmt.Sprintf("%s %s", sub.label, m)}
 			for _, c := range p.Ladder() {
-				r := runYCSBSim(c, MakeScheme("TIMESTAMP", m), ycfg, p.coreConfig(), p.Seed)
+				r := pl.Run(p.ycsbJob("TIMESTAMP", m, c, ycfg))
 				s.addPoint(float64(c), r, throughputM)
 			}
 			fig.Series = append(fig.Series, s)
@@ -203,5 +172,3 @@ func Fig7(p Params) *Figure {
 	}
 	return fig
 }
-
-var _ = stats.Useful

@@ -9,7 +9,7 @@ import (
 
 // schemesAcrossLadder sweeps every tuple-level scheme across the core
 // ladder for one YCSB config, capturing the breakdown at breakdownCores.
-func (p Params) schemesAcrossLadder(readPct, theta float64, breakdownCores int, bdTitle string) *Figure {
+func (p Params) schemesAcrossLadder(pl *Plan, readPct, theta float64, breakdownCores int, bdTitle string) *Figure {
 	ycfg := p.ycsbBase()
 	ycfg.ReadPct = readPct
 	ycfg.Theta = theta
@@ -19,7 +19,7 @@ func (p Params) schemesAcrossLadder(readPct, theta float64, breakdownCores int, 
 	for _, name := range SchemeNames {
 		s := Series{Name: name}
 		for _, c := range p.Ladder() {
-			r := runYCSBSim(c, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, c, ycfg))
 			s.addPoint(float64(c), r, throughputM)
 			if c == breakdownCores {
 				at[name] = r
@@ -47,27 +47,27 @@ func (p Params) capCores(want int) int {
 // Fig8 reproduces "Read-only Workload": uniform accesses, 16 reads per
 // transaction. T/O schemes flatline on timestamp allocation; TIMESTAMP
 // and OCC additionally pay for read copies.
-func Fig8(p Params) *Figure {
+func Fig8(p Params, pl *Plan) *Figure {
 	bd := p.MaxCores
-	fig := p.schemesAcrossLadder(1.0, 0, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
+	fig := p.schemesAcrossLadder(pl, 1.0, 0, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
 	fig.ID = "Fig 8"
 	fig.Title = "Read-only YCSB (uniform)"
 	return fig
 }
 
 // Fig9 reproduces "Write-Intensive Workload (Medium Contention)".
-func Fig9(p Params) *Figure {
+func Fig9(p Params, pl *Plan) *Figure {
 	bd := p.capCores(512)
-	fig := p.schemesAcrossLadder(0.5, 0.6, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
+	fig := p.schemesAcrossLadder(pl, 0.5, 0.6, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
 	fig.ID = "Fig 9"
 	fig.Title = "Write-intensive YCSB, medium contention (theta=0.6)"
 	return fig
 }
 
 // Fig10 reproduces "Write-Intensive Workload (High Contention)".
-func Fig10(p Params) *Figure {
+func Fig10(p Params, pl *Plan) *Figure {
 	bd := p.capCores(64)
-	fig := p.schemesAcrossLadder(0.5, 0.8, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
+	fig := p.schemesAcrossLadder(pl, 0.5, 0.8, bd, fmt.Sprintf("(b) runtime breakdown @ %d cores", bd))
 	fig.ID = "Fig 10"
 	fig.Title = "Write-intensive YCSB, high contention (theta=0.8)"
 	return fig
@@ -76,7 +76,7 @@ func Fig10(p Params) *Figure {
 // Fig11 reproduces "Write-Intensive Workload (Variable Contention)": the
 // theta sweep at 64 cores. Throughput collapses past theta ~0.6-0.8 for
 // every scheme.
-func Fig11(p Params) *Figure {
+func Fig11(p Params, pl *Plan) *Figure {
 	cores := p.capCores(64)
 	fig := &Figure{
 		ID:     "Fig 11",
@@ -91,7 +91,7 @@ func Fig11(p Params) *Figure {
 			ycfg := p.ycsbBase()
 			ycfg.ReadPct = 0.5
 			ycfg.Theta = theta
-			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, cores, ycfg))
 			s.addPoint(theta, r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -103,7 +103,7 @@ func Fig11(p Params) *Figure {
 // per-transaction footprint grows from 1 to 16, at 512 cores, medium
 // skew. Short transactions expose the timestamp-allocation bottleneck;
 // long ones amortize it.
-func Fig12(p Params) *Figure {
+func Fig12(p Params, pl *Plan) *Figure {
 	cores := p.capCores(512)
 	fig := &Figure{
 		ID:     "Fig 12",
@@ -120,7 +120,7 @@ func Fig12(p Params) *Figure {
 			ycfg.ReadPct = 0.5
 			ycfg.Theta = 0.6
 			ycfg.ReqPerTxn = n
-			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, cores, ycfg))
 			s.addPoint(float64(n), r, func(r core.Result) float64 { return r.TuplesPerSec() / 1e6 })
 			if n == 1 {
 				at[name] = r
@@ -138,7 +138,7 @@ func Fig12(p Params) *Figure {
 // Fig13 reproduces "Read/Write Mixture": the read-percentage sweep under
 // high skew at 64 cores. MVCC's non-blocking reads dominate once the mix
 // is read-heavy but not read-only.
-func Fig13(p Params) *Figure {
+func Fig13(p Params, pl *Plan) *Figure {
 	cores := p.capCores(64)
 	fig := &Figure{
 		ID:     "Fig 13",
@@ -153,7 +153,7 @@ func Fig13(p Params) *Figure {
 			ycfg := p.ycsbBase()
 			ycfg.ReadPct = mix
 			ycfg.Theta = 0.8
-			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, cores, ycfg))
 			s.addPoint(mix, r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)

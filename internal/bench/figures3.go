@@ -3,20 +3,15 @@ package bench
 import (
 	"fmt"
 
-	"abyss1000/internal/cc/occ"
-	"abyss1000/internal/core"
-	"abyss1000/internal/mem"
-	"abyss1000/internal/sim"
 	"abyss1000/internal/tsalloc"
 	"abyss1000/internal/workload/tpcc"
-	"abyss1000/internal/workload/ycsb"
 )
 
 // Fig14 reproduces "Database Partitioning": a partitioned YCSB database
 // with as many partitions as cores and single-partition transactions.
 // H-STORE's coarse locks make per-tuple CC overhead vanish, so it leads
 // until timestamp allocation catches it at high core counts.
-func Fig14(p Params) *Figure {
+func Fig14(p Params, pl *Plan) *Figure {
 	fig := &Figure{
 		ID:     "Fig 14",
 		Title:  "Database Partitioning (partitioned YCSB, single-partition txns, uniform)",
@@ -30,7 +25,7 @@ func Fig14(p Params) *Figure {
 			ycfg.ReadPct = 1.0
 			ycfg.Theta = 0
 			ycfg.Partitioned = true
-			r := runYCSBSim(c, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, c, ycfg))
 			s.addPoint(float64(c), r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -42,7 +37,7 @@ func Fig14(p Params) *Figure {
 // throughput versus the fraction of multi-partition transactions, for a
 // read-only and a read-write mix; (b) throughput versus partitions
 // accessed per multi-partition transaction across core counts.
-func Fig15(p Params) *Figure {
+func Fig15(p Params, pl *Plan) *Figure {
 	cores := p.capCores(64)
 	fig := &Figure{
 		ID:     "Fig 15",
@@ -66,7 +61,7 @@ func Fig15(p Params) *Figure {
 			ycfg.Partitioned = true
 			ycfg.MPFraction = mp
 			ycfg.MPParts = 2
-			r := runYCSBSim(cores, MakeScheme("HSTORE", tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob("HSTORE", tsalloc.Atomic, cores, ycfg))
 			s.addPoint(mp, r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -86,7 +81,7 @@ func Fig15(p Params) *Figure {
 				ycfg.MPFraction = 0.1
 				ycfg.MPParts = parts
 			}
-			r := runYCSBSim(c, MakeScheme("HSTORE", tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob("HSTORE", tsalloc.Atomic, c, ycfg))
 			s.addPoint(float64(c), r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -108,7 +103,7 @@ func (p Params) tpccConfig(warehouses int) tpcc.Config {
 }
 
 // tpccAcrossLadder sweeps all schemes for one TPC-C mix.
-func (p Params) tpccAcrossLadder(id, title string, warehouses int, paymentPct float64, maxCores int) *Figure {
+func (p Params) tpccAcrossLadder(pl *Plan, id, title string, warehouses int, paymentPct float64, maxCores int) *Figure {
 	fig := &Figure{
 		ID:     id,
 		Title:  title,
@@ -123,7 +118,7 @@ func (p Params) tpccAcrossLadder(id, title string, warehouses int, paymentPct fl
 			}
 			tcfg := p.tpccConfig(warehouses)
 			tcfg.PaymentPct = paymentPct
-			r := runTPCCSim(c, MakeScheme(name, tsalloc.Atomic), tcfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.tpccJob(name, c, tcfg))
 			s.addPoint(float64(c), r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -133,7 +128,7 @@ func (p Params) tpccAcrossLadder(id, title string, warehouses int, paymentPct fl
 
 // Fig16 reproduces "TPC-C (4 warehouses)": more workers than warehouses,
 // so Payment's W_YTD update serializes everything.
-func Fig16(p Params) *Figure {
+func Fig16(p Params, pl *Plan) *Figure {
 	max := p.capCores(256)
 	f := &Figure{ID: "Fig 16", Title: "TPC-C, 4 warehouses", XLabel: "cores", YLabel: "Mtxn/s"}
 	subs := []struct {
@@ -145,7 +140,7 @@ func Fig16(p Params) *Figure {
 		{"(c) NewOrder only", 0.0},
 	}
 	for _, sub := range subs {
-		g := p.tpccAcrossLadder("", "", 4, sub.paymentPct, max)
+		g := p.tpccAcrossLadder(pl, "", "", 4, sub.paymentPct, max)
 		for i := range g.Series {
 			g.Series[i].Name = sub.title + " " + g.Series[i].Name
 			f.Series = append(f.Series, g.Series[i])
@@ -157,7 +152,7 @@ func Fig16(p Params) *Figure {
 // Fig17 reproduces "TPC-C (1024 warehouses)": warehouses >= workers
 // removes the Payment hotspot; T/O schemes then hit timestamp allocation
 // and H-STORE leads on partitioning.
-func Fig17(p Params) *Figure {
+func Fig17(p Params, pl *Plan) *Figure {
 	warehouses := p.MaxCores
 	if warehouses < 64 {
 		warehouses = 64
@@ -177,7 +172,7 @@ func Fig17(p Params) *Figure {
 		{"(c) NewOrder only", 0.0},
 	}
 	for _, sub := range subs {
-		g := p.tpccAcrossLadder("", "", warehouses, sub.paymentPct, p.MaxCores)
+		g := p.tpccAcrossLadder(pl, "", "", warehouses, sub.paymentPct, p.MaxCores)
 		for i := range g.Series {
 			g.Series[i].Name = sub.title + " " + g.Series[i].Name
 			f.Series = append(f.Series, g.Series[i])
@@ -215,7 +210,7 @@ func Table2(p Params) string {
 // classes] based on the workload"): the ADAPTIVE hybrid against its two
 // ingredients across the contention sweep. The hybrid should track
 // DL_DETECT at low theta and NO_WAIT once thrashing sets in.
-func ExtensionAdaptive(p Params) *Figure {
+func ExtensionAdaptive(p Params, pl *Plan) *Figure {
 	cores := p.capCores(64)
 	fig := &Figure{
 		ID:     "Extension: adaptive",
@@ -229,7 +224,7 @@ func ExtensionAdaptive(p Params) *Figure {
 			ycfg := p.ycsbBase()
 			ycfg.ReadPct = 0.5
 			ycfg.Theta = theta
-			r := runYCSBSim(cores, MakeScheme(name, tsalloc.Atomic), ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(name, tsalloc.Atomic, cores, ycfg))
 			s.addPoint(theta, r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -240,24 +235,26 @@ func ExtensionAdaptive(p Params) *Figure {
 // AblationValidation reproduces the §4.3 "Distributed Validation" claim:
 // the same OCC workload with parallelized per-tuple validation versus the
 // original algorithm's single global validation critical section.
-func AblationValidation(p Params) *Figure {
+func AblationValidation(p Params, pl *Plan) *Figure {
 	fig := &Figure{
 		ID:     "Ablation: occ-validation",
 		Title:  "OCC parallel validation vs global critical section (YCSB theta=0.6, write-intensive)",
 		XLabel: "cores",
 		YLabel: "Mtxn/s",
 	}
-	for _, mode := range []string{"parallel", "central"} {
-		s := Series{Name: mode}
+	for _, mode := range []struct {
+		name   string
+		scheme string
+	}{
+		{"parallel", "OCC"},
+		{"central", "OCC_CENTRAL"},
+	} {
+		s := Series{Name: mode.name}
 		for _, c := range p.Ladder() {
 			ycfg := p.ycsbBase()
 			ycfg.ReadPct = 0.5
 			ycfg.Theta = 0.6
-			scheme := occ.New(tsalloc.Atomic)
-			if mode == "central" {
-				scheme = occ.NewCentral(tsalloc.Atomic)
-			}
-			r := runYCSBSim(c, scheme, ycfg, p.coreConfig(), p.Seed)
+			r := pl.Run(p.ycsbJob(mode.scheme, tsalloc.Atomic, c, ycfg))
 			s.addPoint(float64(c), r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)
@@ -268,7 +265,7 @@ func AblationValidation(p Params) *Figure {
 // AblationMalloc reproduces the §4.1 memory-allocator finding: the same
 // TIMESTAMP workload (whose reads allocate copies constantly) with
 // per-worker arenas versus one centralized allocator.
-func AblationMalloc(p Params) *Figure {
+func AblationMalloc(p Params, pl *Plan) *Figure {
 	cores := p.capCores(64)
 	fig := &Figure{
 		ID:     "Ablation: malloc",
@@ -279,16 +276,12 @@ func AblationMalloc(p Params) *Figure {
 	for _, mode := range []string{"arena", "global-malloc"} {
 		s := Series{Name: mode}
 		for _, c := range p.Ladder() {
-			eng := sim.New(c, p.Seed)
-			db := core.NewDB(eng)
-			if mode == "global-malloc" {
-				db.GlobalAlloc = mem.NewGlobalPool(eng)
-			}
 			ycfg := p.ycsbBase()
 			ycfg.ReadPct = 1.0
 			ycfg.Theta = 0
-			wl := ycsb.Build(db, ycfg)
-			r := core.Run(db, MakeScheme("TIMESTAMP", tsalloc.Atomic), wl, p.coreConfig())
+			j := p.ycsbJob("TIMESTAMP", tsalloc.Atomic, c, ycfg)
+			j.GlobalMalloc = mode == "global-malloc"
+			r := pl.Run(j)
 			s.addPoint(float64(c), r, throughputM)
 		}
 		fig.Series = append(fig.Series, s)

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/stats"
+)
+
+// RunMeta describes a whole abyss-bench invocation. It contains only
+// determinism-relevant settings — no timestamps, durations or pool widths
+// — so the JSON document for a given (experiments, params) pair is
+// byte-identical regardless of when or how parallel the run was.
+type RunMeta struct {
+	// Paper identifies the evaluation being reproduced.
+	Paper string `json:"paper"`
+	// Scale is "quick", "full", or "custom" (flag-overridden).
+	Scale string `json:"scale"`
+	// Params are the exact parameters every experiment ran with.
+	Params Params `json:"params"`
+}
+
+// ReportFigure pairs a registry experiment id with its rendered figure.
+type ReportFigure struct {
+	Experiment string  `json:"experiment"`
+	Figure     *Figure `json:"figure"`
+}
+
+// Report is the machine-readable form of one abyss-bench run: run
+// metadata plus every figure with every point's full core.Result
+// (commits, aborts, tuples, and the six-component cycle breakdown).
+type Report struct {
+	Meta    RunMeta        `json:"meta"`
+	Figures []ReportFigure `json:"figures"`
+	// Table2 carries the bottleneck-summary table when the run included
+	// it (-all or -table 2).
+	Table2 string `json:"table2,omitempty"`
+}
+
+// NewReport assembles a report from the experiments es and the figures
+// they produced (parallel slices, as returned by BuildAll).
+func NewReport(meta RunMeta, es []Experiment, figs []*Figure) *Report {
+	rep := &Report{Meta: meta}
+	for i, e := range es {
+		rep.Figures = append(rep.Figures, ReportFigure{Experiment: e.ID, Figure: figs[i]})
+	}
+	return rep
+}
+
+// JSON renders the report as indented JSON with a trailing newline. The
+// output is deterministic: same experiments, same params, same bytes.
+func (rep *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// csvColumns is the flat per-point CSV header. The first columns locate
+// the point within its figure; the rest are the full core.Result plus the
+// derived metrics the paper plots.
+func csvColumns() []string {
+	cols := []string{
+		"experiment", "figure", "series", "x", "y",
+		"scheme", "workers", "commits", "aborts", "tuples",
+		"measure_cycles", "frequency_hz", "throughput_txn_s", "abort_fraction",
+	}
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		cols = append(cols, c.Key()+"_cycles")
+	}
+	return cols
+}
+
+// CSV renders every data point as one flat row (breakdown tables are a
+// per-point projection of the same cycle counters, so they are not
+// repeated separately). Fields never need quoting: series names contain
+// no commas and numbers are formatted with strconv.
+func (rep *Report) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(csvColumns(), ","))
+	b.WriteByte('\n')
+	for _, rf := range rep.Figures {
+		for _, s := range rf.Figure.Series {
+			for _, pt := range s.Points {
+				r := pt.Res
+				fields := []string{
+					rf.Experiment,
+					csvEscape(rf.Figure.ID),
+					csvEscape(s.Name),
+					formatFloat(pt.X),
+					formatFloat(finite(pt.Y)),
+					r.Scheme,
+					strconv.Itoa(r.Workers),
+					strconv.FormatUint(r.Commits, 10),
+					strconv.FormatUint(r.Aborts, 10),
+					strconv.FormatUint(r.Tuples, 10),
+					strconv.FormatUint(r.MeasureCycles, 10),
+					formatFloat(r.Frequency),
+					formatFloat(finite(r.Throughput())),
+					formatFloat(finite(r.AbortFraction())),
+				}
+				for c := stats.Component(0); c < stats.NumComponents; c++ {
+					fields = append(fields, strconv.FormatUint(r.Breakdown.Get(c), 10))
+				}
+				b.WriteString(strings.Join(fields, ","))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return b.String()
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// csvEscape replaces the field separator; names in this package never
+// contain commas, but a future figure title should not corrupt the file.
+func csvEscape(s string) string { return strings.ReplaceAll(s, ",", ";") }
+
+// finite maps NaN/Inf (possible only for artificial zero results) to 0 so
+// the output stays valid JSON/CSV.
+func finite(f float64) float64 {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0
+	}
+	return f
+}
+
+// pointJSON fixes the Point wire format: the raw result plus the derived
+// metrics, so consumers need no cycle arithmetic.
+type pointJSON struct {
+	X             float64     `json:"x"`
+	Y             float64     `json:"y"`
+	Result        core.Result `json:"result"`
+	Throughput    float64     `json:"throughput_txn_s"`
+	AbortFraction float64     `json:"abort_fraction"`
+}
+
+// MarshalJSON emits the point with its full result and derived metrics.
+func (pt Point) MarshalJSON() ([]byte, error) {
+	return json.Marshal(pointJSON{
+		X:             pt.X,
+		Y:             finite(pt.Y),
+		Result:        pt.Res,
+		Throughput:    finite(pt.Res.Throughput()),
+		AbortFraction: finite(pt.Res.AbortFraction()),
+	})
+}
+
+// UnmarshalJSON restores a point written by MarshalJSON (the derived
+// fields are recomputable and ignored).
+func (pt *Point) UnmarshalJSON(data []byte) error {
+	var v pointJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	pt.X, pt.Y, pt.Res = v.X, v.Y, v.Result
+	return nil
+}

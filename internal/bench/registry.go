@@ -1,17 +1,27 @@
 package bench
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
-// FigureFunc builds one experiment at the given scale.
-type FigureFunc func(Params) *Figure
+// FigureFunc builds one experiment at the given scale, running (or
+// enumerating, or replaying — see Plan) each data point through pl.
+type FigureFunc func(p Params, pl *Plan) *Figure
 
-// Registry maps experiment ids (as passed to abyss-bench -fig) to their
-// implementations, in the paper's order.
-var Registry = []struct {
+// Experiment is one registry entry: the id accepted by `abyss-bench
+// -fig`, a one-line description, and the figure function.
+type Experiment struct {
 	ID   string
 	Desc string
 	Run  FigureFunc
-}{
+}
+
+// Registry maps experiment ids (as passed to abyss-bench -fig) to their
+// implementations, in the paper's order. It is the single source of
+// truth for every experiment enumeration: `abyss-bench -list`, the -fig
+// flag's help text, -all, and EXPERIMENTS.md all derive from it.
+var Registry = []Experiment{
 	{"3", "Simulator vs real hardware (YCSB, theta=0.6)", Fig3},
 	{"4", "Lock thrashing (DL_DETECT without detection)", Fig4},
 	{"5", "Waiting vs aborting (DL_DETECT timeout sweep)", Fig5},
@@ -32,12 +42,23 @@ var Registry = []struct {
 	{"adaptive", "Extension: the §6.1 DL_DETECT/NO_WAIT hybrid", ExtensionAdaptive},
 }
 
+// IDs lists every registered experiment id in registry order. The -fig
+// flag help, -list output and error messages all use this, so they
+// cannot drift from the registry.
+func IDs() []string {
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
 // Lookup finds a registry entry by id.
-func Lookup(id string) (FigureFunc, error) {
+func Lookup(id string) (Experiment, error) {
 	for _, e := range Registry {
 		if e.ID == id {
-			return e.Run, nil
+			return e, nil
 		}
 	}
-	return nil, fmt.Errorf("bench: unknown experiment %q (try 3-17 or malloc)", id)
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 }

@@ -1,0 +1,233 @@
+// Two-phase experiment execution.
+//
+// Every figure function is written against a *Plan: wherever the serial
+// harness would run a simulation inline, the figure calls Plan.Run with a
+// self-describing Job. The same figure function then serves three modes:
+//
+//   - direct: Plan.Run executes the job inline (the serial path; exactly
+//     the behavior of the original one-pass harness).
+//   - collect: Plan.Run records the job and returns a zero Result; one
+//     pass over the figure function yields its flat job list without
+//     simulating anything.
+//   - replay: Plan.Run hands back the precomputed result for the next
+//     recorded job; a second pass over the figure function reassembles
+//     the Figure from results the Runner produced on a worker pool.
+//
+// This works because figure functions are pure sweeps: their control flow
+// never depends on a Result's values, only on Params. The replay pass
+// verifies this invariant — each incoming job must equal the recorded one
+// — and panics on divergence, so a result-dependent figure fails loudly
+// instead of silently misassigning points.
+//
+// Determinism: a Job is executed by Job.Run regardless of mode or worker,
+// and Job.Run constructs everything it touches from the job's own fields
+// (including its seed). Serial and parallel builds therefore produce
+// byte-identical figures, which TestSerialParallelEquivalence pins.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"abyss1000/internal/core"
+)
+
+type planMode int
+
+const (
+	planDirect planMode = iota
+	planCollect
+	planReplay
+)
+
+// Plan threads the execution mode through a figure function. Figure code
+// only ever calls Run; everything else is driven by Build/BuildAll.
+type Plan struct {
+	mode       planMode
+	experiment string
+	jobs       []Job
+	results    []core.Result
+	next       int
+}
+
+// Run executes, records, or replays one job depending on the plan mode.
+func (pl *Plan) Run(j Job) core.Result {
+	if j.Experiment == "" {
+		j.Experiment = pl.experiment
+	}
+	switch pl.mode {
+	case planCollect:
+		pl.jobs = append(pl.jobs, j)
+		return core.Result{}
+	case planReplay:
+		if pl.next >= len(pl.jobs) {
+			panic(fmt.Sprintf("bench: experiment %q enumerated %d jobs but asked for more on replay; figure control flow must not depend on results", pl.experiment, len(pl.jobs)))
+		}
+		if pl.jobs[pl.next] != j {
+			panic(fmt.Sprintf("bench: experiment %q replay mismatch at job %d: enumerated %+v, replayed %+v; figure control flow must not depend on results", pl.experiment, pl.next, pl.jobs[pl.next], j))
+		}
+		r := pl.results[pl.next]
+		pl.next++
+		return r
+	default:
+		return j.Run()
+	}
+}
+
+// Progress reports worker-pool completion to Runner.OnProgress.
+type Progress struct {
+	// Done and Total count completed and enumerated jobs.
+	Done, Total int
+	// Elapsed is wall-clock time since Execute started; Remaining is
+	// the linear-extrapolation ETA (zero until the first completion).
+	Elapsed, Remaining time.Duration
+	// Last is the job that just completed.
+	Last Job
+}
+
+// Runner executes a flat job list across a worker pool. The zero value
+// runs GOMAXPROCS-wide with no progress reporting.
+type Runner struct {
+	// Workers is the pool width; <= 0 means runtime.GOMAXPROCS(0).
+	// Each job occupies roughly one OS thread (the simulator's cores
+	// are cooperatively scheduled), so GOMAXPROCS-wide pools scale the
+	// suite near-linearly.
+	Workers int
+
+	// OnProgress, when non-nil, is called after every job completes.
+	// Calls are serialized; the callback must not block for long.
+	OnProgress func(Progress)
+}
+
+func (r *Runner) workers() int {
+	if r == nil || r.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return r.Workers
+}
+
+// Execute runs every job and returns results in job order. Jobs marked
+// Exclusive (native wall-clock runs) execute one at a time after the
+// parallel jobs drain, so pool contention cannot distort their timing.
+func (r *Runner) Execute(jobs []Job) []core.Result {
+	results := make([]core.Result, len(jobs))
+	var pool, exclusive []int
+	for i, j := range jobs {
+		if j.Exclusive {
+			exclusive = append(exclusive, i)
+		} else {
+			pool = append(pool, i)
+		}
+	}
+
+	start := time.Now()
+	var mu sync.Mutex
+	done := 0
+	complete := func(i int) {
+		if r == nil || r.OnProgress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		elapsed := time.Since(start)
+		var remaining time.Duration
+		if done > 0 && done < len(jobs) {
+			remaining = time.Duration(float64(elapsed) / float64(done) * float64(len(jobs)-done))
+		}
+		r.OnProgress(Progress{Done: done, Total: len(jobs), Elapsed: elapsed, Remaining: remaining, Last: jobs[i]})
+	}
+
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = jobs[i].Run()
+				complete(i)
+			}
+		}()
+	}
+	for _, i := range pool {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+
+	for _, i := range exclusive {
+		results[i] = jobs[i].Run()
+		complete(i)
+	}
+	return results
+}
+
+// Build runs one figure function. With r nil or Workers == 1 the points
+// execute inline in enumeration order (the serial path); otherwise the
+// figure is enumerated, its jobs run on the pool, and the figure is
+// reassembled by replay.
+func Build(fn FigureFunc, p Params, r *Runner) *Figure {
+	return buildOne(Experiment{Run: fn}, p, r)
+}
+
+// Build runs the registered experiment at scale p under runner r.
+func (e Experiment) Build(p Params, r *Runner) *Figure {
+	return buildOne(e, p, r)
+}
+
+// Jobs enumerates the experiment's full job list at scale p without
+// executing anything.
+func (e Experiment) Jobs(p Params) []Job {
+	pl := &Plan{mode: planCollect, experiment: e.ID}
+	e.Run(p, pl)
+	return pl.jobs
+}
+
+func serial(r *Runner) bool { return r == nil || r.Workers == 1 }
+
+func buildOne(e Experiment, p Params, r *Runner) *Figure {
+	if serial(r) {
+		return e.Run(p, &Plan{mode: planDirect, experiment: e.ID})
+	}
+	return BuildAll([]Experiment{e}, p, r)[0]
+}
+
+// BuildAll runs several experiments as one flat job list: every
+// experiment is enumerated first, the combined list executes on the
+// worker pool (so small figures cannot leave the pool idle), and each
+// figure is then reassembled from its slice of the results.
+func BuildAll(es []Experiment, p Params, r *Runner) []*Figure {
+	figs := make([]*Figure, len(es))
+	if serial(r) {
+		for i, e := range es {
+			figs[i] = e.Run(p, &Plan{mode: planDirect, experiment: e.ID})
+		}
+		return figs
+	}
+
+	plans := make([]*Plan, len(es))
+	var all []Job
+	for i, e := range es {
+		plans[i] = &Plan{mode: planCollect, experiment: e.ID}
+		e.Run(p, plans[i])
+		all = append(all, plans[i].jobs...)
+	}
+
+	results := r.Execute(all)
+
+	off := 0
+	for i, e := range es {
+		pl := plans[i]
+		pl.mode = planReplay
+		pl.results = results[off : off+len(pl.jobs)]
+		off += len(pl.jobs)
+		figs[i] = e.Run(p, pl)
+		if pl.next != len(pl.jobs) {
+			panic(fmt.Sprintf("bench: experiment %q enumerated %d jobs but replayed only %d; figure control flow must not depend on results", e.ID, len(pl.jobs), pl.next))
+		}
+	}
+	return figs
+}

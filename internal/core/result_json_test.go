@@ -1,0 +1,63 @@
+package core_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/stats"
+)
+
+// TestResultJSONRoundTrip pins the stable serialization of Result: every
+// field, including the six-component breakdown, survives a marshal/
+// unmarshal cycle unchanged.
+func TestResultJSONRoundTrip(t *testing.T) {
+	var bd stats.Breakdown
+	for c := stats.Component(0); c < stats.NumComponents; c++ {
+		bd.Add(c, uint64(100*(int(c)+1)))
+	}
+	orig := core.Result{
+		Scheme:        "MVCC",
+		Workers:       64,
+		Commits:       123456,
+		Aborts:        789,
+		Tuples:        1975296,
+		MeasureCycles: 800_000,
+		Frequency:     1e9,
+		Breakdown:     bd,
+	}
+
+	b, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back core.Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip changed the result:\norig %+v\nback %+v", orig, back)
+	}
+	if back.Throughput() != orig.Throughput() || back.AbortFraction() != orig.AbortFraction() {
+		t.Fatal("derived metrics changed across round trip")
+	}
+}
+
+// TestResultJSONStableKeys pins the wire format's field names — external
+// consumers (CI artifacts, plotting scripts) parse these.
+func TestResultJSONStableKeys(t *testing.T) {
+	b, err := json.Marshal(core.Result{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		`"scheme"`, `"workers"`, `"commits"`, `"aborts"`, `"tuples"`,
+		`"measure_cycles"`, `"frequency_hz"`, `"breakdown"`,
+		`"useful"`, `"abort"`, `"ts_alloc"`, `"index"`, `"wait"`, `"manager"`,
+	} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("Result JSON missing key %s: %s", key, b)
+		}
+	}
+}

@@ -33,16 +33,19 @@ func DefaultConfig() Config {
 	}
 }
 
-// Result aggregates one run.
+// Result aggregates one run. The json tags define the stable
+// machine-readable serialization emitted by `abyss-bench -json`/`-csv`
+// and round-tripped by encoding/json; renaming them is a breaking format
+// change.
 type Result struct {
-	Scheme        string
-	Workers       int
-	Commits       uint64
-	Aborts        uint64
-	Tuples        uint64
-	MeasureCycles uint64
-	Frequency     float64
-	Breakdown     stats.Breakdown
+	Scheme        string          `json:"scheme"`
+	Workers       int             `json:"workers"`
+	Commits       uint64          `json:"commits"`
+	Aborts        uint64          `json:"aborts"`
+	Tuples        uint64          `json:"tuples"`
+	MeasureCycles uint64          `json:"measure_cycles"`
+	Frequency     float64         `json:"frequency_hz"`
+	Breakdown     stats.Breakdown `json:"breakdown"`
 }
 
 // Throughput returns committed transactions per second.

@@ -7,6 +7,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -45,12 +46,28 @@ var componentNames = [NumComponents]string{
 	"Useful Work", "Abort", "Ts Alloc.", "Index", "Wait", "Manager",
 }
 
+// componentKeys are the stable machine-readable identifiers used by the
+// JSON and CSV serializations. They are part of the output format; do not
+// reorder or rename.
+var componentKeys = [NumComponents]string{
+	"useful", "abort", "ts_alloc", "index", "wait", "manager",
+}
+
 // String returns the display name used in the paper's breakdown figures.
 func (c Component) String() string {
 	if c < 0 || c >= NumComponents {
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
 	return componentNames[c]
+}
+
+// Key returns the stable machine-readable identifier for c, as used in
+// JSON objects and CSV column names.
+func (c Component) Key() string {
+	if c < 0 || c >= NumComponents {
+		return fmt.Sprintf("component_%d", int(c))
+	}
+	return componentKeys[c]
 }
 
 // Breakdown accumulates cycles per component for a single worker/core. It is
@@ -151,6 +168,49 @@ func (b *Breakdown) Fractions() [NumComponents]float64 {
 		f[i] = float64(v) / float64(t)
 	}
 	return f
+}
+
+// breakdownJSON fixes the serialized field order; its json tags must match
+// componentKeys in Component order.
+type breakdownJSON struct {
+	Useful  uint64 `json:"useful"`
+	Abort   uint64 `json:"abort"`
+	TsAlloc uint64 `json:"ts_alloc"`
+	Index   uint64 `json:"index"`
+	Wait    uint64 `json:"wait"`
+	Manager uint64 `json:"manager"`
+}
+
+// MarshalJSON serializes the per-component cycle totals as an object with
+// stable keys (Component.Key) in Component order. Only the committed
+// buckets are serialized; the transient open-attempt tracking state is
+// not part of the wire format.
+func (b Breakdown) MarshalJSON() ([]byte, error) {
+	return json.Marshal(breakdownJSON{
+		Useful:  b.buckets[Useful],
+		Abort:   b.buckets[Abort],
+		TsAlloc: b.buckets[TsAlloc],
+		Index:   b.buckets[Index],
+		Wait:    b.buckets[Wait],
+		Manager: b.buckets[Manager],
+	})
+}
+
+// UnmarshalJSON restores the per-component cycle totals written by
+// MarshalJSON. The restored Breakdown has no attempt in progress.
+func (b *Breakdown) UnmarshalJSON(data []byte) error {
+	var v breakdownJSON
+	if err := json.Unmarshal(data, &v); err != nil {
+		return err
+	}
+	*b = Breakdown{}
+	b.buckets[Useful] = v.Useful
+	b.buckets[Abort] = v.Abort
+	b.buckets[TsAlloc] = v.TsAlloc
+	b.buckets[Index] = v.Index
+	b.buckets[Wait] = v.Wait
+	b.buckets[Manager] = v.Manager
+	return nil
 }
 
 // Counters tracks transaction outcomes for a single worker.

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -178,5 +179,69 @@ func TestFormatBreakdownMentionsAllComponents(t *testing.T) {
 	}
 	if !strings.Contains(s, "50.0%") {
 		t.Fatalf("format missing percentage: %s", s)
+	}
+}
+
+func TestComponentKeyStable(t *testing.T) {
+	want := []string{"useful", "abort", "ts_alloc", "index", "wait", "manager"}
+	for c := Component(0); c < NumComponents; c++ {
+		if c.Key() != want[c] {
+			t.Errorf("Component(%d).Key() = %q, want %q", int(c), c.Key(), want[c])
+		}
+	}
+	if Component(99).Key() != "component_99" {
+		t.Errorf("out-of-range key = %q", Component(99).Key())
+	}
+}
+
+func TestBreakdownJSONRoundTrip(t *testing.T) {
+	var b Breakdown
+	for c := Component(0); c < NumComponents; c++ {
+		b.Add(c, uint64(7*(int(c)+1)))
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Keys appear in Component order with the stable identifiers.
+	wantOrder := `{"useful":7,"abort":14,"ts_alloc":21,"index":28,"wait":35,"manager":42}`
+	if string(data) != wantOrder {
+		t.Fatalf("breakdown JSON = %s, want %s", data, wantOrder)
+	}
+	var back Breakdown
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	for c := Component(0); c < NumComponents; c++ {
+		if back.Get(c) != b.Get(c) {
+			t.Errorf("%s: got %d, want %d", c, back.Get(c), b.Get(c))
+		}
+	}
+}
+
+// TestBreakdownJSONDropsAttemptState documents that the wire format
+// carries only committed buckets: an open attempt is not serialized, and
+// an unmarshaled Breakdown starts with no attempt in progress.
+func TestBreakdownJSONDropsAttemptState(t *testing.T) {
+	var b Breakdown
+	b.Add(Useful, 10)
+	b.BeginAttempt()
+	b.Add(Useful, 5)
+	data, err := json.Marshal(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Breakdown
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Get(Useful) != 15 {
+		t.Fatalf("useful = %d, want 15", back.Get(Useful))
+	}
+	// The restored breakdown must behave as if no attempt were open:
+	// an AbortAttempt re-bills nothing.
+	back.AbortAttempt()
+	if back.Get(Useful) != 15 || back.Get(Abort) != 0 {
+		t.Fatal("restored breakdown re-billed cycles from a phantom attempt")
 	}
 }
