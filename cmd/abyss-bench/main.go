@@ -9,6 +9,8 @@
 //	abyss-bench -fig 11 -csv > f11.csv  # one experiment, flat CSV points
 //	abyss-bench -table 2                # the bottleneck-summary table
 //	abyss-bench -list                   # enumerate experiments
+//	abyss-bench -fig 6 -cpuprofile cpu.out -memprofile mem.out
+//	                                    # ... with pprof profiles of the run
 //
 // Data points execute on a worker pool (-parallel, default GOMAXPROCS);
 // progress and timing go to stderr, results to stdout. Every run is
@@ -18,6 +20,11 @@
 // breakdown) plus run metadata; -csv flattens the same points into one
 // row each. EXPERIMENTS.md documents what every experiment reproduces
 // and the exact command for each.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiments (inspect with `go tool pprof`), so hot-path hunts start
+// from measurement instead of guesswork; the heap profile is written at
+// exit after a final GC, capturing live retention rather than churn.
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -44,6 +52,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the run as JSON on stdout (suppresses figure text)")
 		csvOut   = flag.Bool("csv", false, "emit every data point as a CSV row on stdout (suppresses figure text)")
 		quiet    = flag.Bool("quiet", false, "suppress progress reporting on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
+		memProf  = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	)
 	flag.Parse()
 
@@ -92,7 +102,20 @@ func main() {
 			}
 			experiments = []bench.Experiment{e}
 		}
-		runExperiments(experiments, params, scale, *parallel, *jsonOut, *csvOut, *quiet, *all)
+		// Profiling starts only now, with every flag validated, and is
+		// stopped explicitly before any exit, so a usage error or a
+		// failed run can never leave a truncated profile behind.
+		stopProfiles, err := startProfiles(*cpuProf, *memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abyss-bench:", err)
+			os.Exit(1)
+		}
+		err = runExperiments(experiments, params, scale, *parallel, *jsonOut, *csvOut, *quiet, *all)
+		stopProfiles()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "abyss-bench:", err)
+			os.Exit(1)
+		}
 		return
 	default:
 		flag.Usage()
@@ -100,9 +123,44 @@ func main() {
 	}
 }
 
+// startProfiles begins CPU profiling if requested and returns a function
+// that finishes both requested profiles: it stops the CPU profile first,
+// then writes a post-GC heap snapshot (live retention, not churn).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("creating CPU profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "abyss-bench: creating heap profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "abyss-bench: writing heap profile:", err)
+			}
+		}
+	}, nil
+}
+
 // runExperiments executes the selected experiments on the worker pool and
 // writes the requested output format to stdout.
-func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, jsonOut, csvOut, quiet, withTable2 bool) {
+func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, jsonOut, csvOut, quiet, withTable2 bool) error {
 	runner := &bench.Runner{Workers: parallel}
 	if !quiet {
 		runner.OnProgress = progressPrinter()
@@ -125,8 +183,7 @@ func runExperiments(experiments []bench.Experiment, params bench.Params, scale s
 	case jsonOut:
 		b, err := rep.JSON()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "abyss-bench: encoding JSON:", err)
-			os.Exit(1)
+			return fmt.Errorf("encoding JSON: %w", err)
 		}
 		os.Stdout.Write(b)
 	case csvOut:
@@ -140,6 +197,7 @@ func runExperiments(experiments []bench.Experiment, params bench.Params, scale s
 			fmt.Print(rep.Table2)
 		}
 	}
+	return nil
 }
 
 // progressPrinter renders N/M + ETA progress lines in place on stderr.

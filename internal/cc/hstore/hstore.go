@@ -167,9 +167,10 @@ func (s *HStore) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, erro
 	return t.Row(slot), nil
 }
 
-// Write implements core.Scheme: in-place write under the partition lock,
-// with an undo image for program-logic rollbacks.
-func (s *HStore) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+// WriteRow implements core.Scheme: hand back the live row for in-place
+// mutation under the partition lock, with an undo image for program-logic
+// rollbacks.
+func (s *HStore) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 	st := tx.State.(*txnState)
 	row := t.Row(slot)
 	have := false
@@ -185,9 +186,8 @@ func (s *HStore) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row 
 		tx.P.Tick(stats.Manager, costs.CopyCost(uint64(len(row))))
 		st.undo = append(st.undo, undoRec{t: t, slot: slot, img: img})
 	}
-	fn(row)
 	tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(len(row)))
-	return nil
+	return row, nil
 }
 
 // Commit implements core.Scheme: release partitions.

@@ -80,7 +80,30 @@ type MVCC struct {
 	alloc  tsalloc.Allocator
 	meta   [][]entry
 	active []rt.Counter // per-worker active transaction timestamp
+
+	// free recycles version data buffers, one stack per (worker, table)
+	// at index worker*ntables+table: a worker pushes buffers it unlinks
+	// (abort withdrawals, pruned old versions) and pops them for new
+	// versions. When a stack is empty, buffers are carved from the
+	// worker's grow-only chunk (the paper's per-thread memory pools), so
+	// the steady-state write path performs no per-version heap
+	// allocation. Only worker w touches w's stacks and chunk; a buffer
+	// is recycled only once no active transaction can reach its version
+	// (abort: the version was pending and private; prune: the watermark
+	// proves unreachability), so reuse can never be observed.
+	free    [][][]byte
+	chunks  []chunk
+	ntables int
 }
+
+// chunk is one worker's bump allocator for fresh version buffers.
+type chunk struct {
+	buf []byte
+	off int
+}
+
+// chunkSize is each refill of a worker's version-buffer pool.
+const chunkSize = 1 << 18
 
 // New creates an MVCC scheme drawing timestamps via method m.
 func New(m tsalloc.Method) *MVCC { return &MVCC{method: m} }
@@ -98,6 +121,10 @@ func (s *MVCC) Setup(db *core.DB) {
 		entries := make([]entry, t.Capacity())
 		for i := range entries {
 			entries[i].latch = db.RT.NewLatch(uint64(t.ID)<<44 | 0x33<<36 | uint64(i))
+			// Pre-size the chain so a tuple's first versions never
+			// allocate on the write path (commit-time pruning keeps
+			// steady-state chains short, so capacity 2 rarely grows).
+			entries[i].versions = make([]version, 0, 2)
 		}
 		s.meta[t.ID] = entries
 	}
@@ -106,6 +133,40 @@ func (s *MVCC) Setup(db *core.DB) {
 	for i := range s.active {
 		s.active[i] = db.RT.NewCounter(0xAC<<40 | uint64(i))
 	}
+	s.ntables = len(tables)
+	s.free = make([][][]byte, n*s.ntables)
+	s.chunks = make([]chunk, n)
+}
+
+// getBuf pops a recycled version buffer for worker wid and table tid, or
+// carves a fresh one from the worker's chunk. The caller overwrites the
+// full buffer.
+func (s *MVCC) getBuf(wid, tid, n int) []byte {
+	k := wid*s.ntables + tid
+	stack := s.free[k]
+	if len(stack) > 0 {
+		buf := stack[len(stack)-1]
+		s.free[k] = stack[:len(stack)-1]
+		return buf
+	}
+	c := &s.chunks[wid]
+	if c.off+n > len(c.buf) {
+		size := chunkSize
+		if size < n {
+			size = n
+		}
+		c.buf = make([]byte, size)
+		c.off = 0
+	}
+	buf := c.buf[c.off : c.off+n : c.off+n]
+	c.off += n
+	return buf
+}
+
+// putBuf recycles an unlinked version buffer onto worker wid's stack.
+func (s *MVCC) putBuf(wid, tid int, buf []byte) {
+	k := wid*s.ntables + tid
+	s.free[k] = append(s.free[k], buf)
 }
 
 // NewTxnState implements core.Scheme.
@@ -212,8 +273,13 @@ func (s *MVCC) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error)
 	}
 }
 
-// Write implements core.Scheme: install a pending version at tx.TS.
-func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+// WriteRow implements core.Scheme: install a pending version at tx.TS and
+// return its buffer (seeded with the preceding version's image) for the
+// caller to mutate in place. The buffer stays private until Commit
+// resolves the pending version — readers ordered after it wait, earlier
+// ones are served older versions — so caller writes after return are
+// isolated.
+func (s *MVCC) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 	st := tx.State.(*txnState)
 	e := s.entryOf(t, slot)
 	n := t.Schema.RowSize()
@@ -223,7 +289,7 @@ func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []
 		i := e.visible(tx.TS)
 		if i == -2 {
 			e.latch.Release(tx.P, stats.Manager)
-			return core.ErrAbort
+			return nil, core.ErrAbort
 		}
 
 		var prevRTS uint64
@@ -236,11 +302,11 @@ func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []
 			if v.pending {
 				if v.owner == st {
 					// Second write by the same transaction:
-					// update the pending version in place.
-					fn(v.data)
+					// hand back the pending version again.
+					data := v.data
 					tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(n))
 					e.latch.Release(tx.P, stats.Manager)
-					return nil
+					return data, nil
 				}
 				// A concurrent writer precedes us; its outcome
 				// decides our fate. Wait for resolution.
@@ -257,7 +323,7 @@ func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []
 		// the preceding version — writing at ts would invalidate it.
 		if prevRTS > tx.TS {
 			e.latch.Release(tx.P, stats.Manager)
-			return core.ErrAbort
+			return nil, core.ErrAbort
 		}
 
 		// This update is a read-modify-write: it *reads* the
@@ -273,10 +339,12 @@ func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []
 		}
 
 		// Install the pending version (sorted position: after i).
-		buf := make([]byte, n)
+		// The buffer comes from the worker's recycle stack when one is
+		// available; the modeled allocation cost is charged either way
+		// (the paper's DBMS pays its pool allocator on every version).
+		buf := s.getBuf(tx.P.ID(), t.ID, n)
 		copy(buf, prevData)
 		tx.P.Tick(stats.Manager, costs.CopyCost(uint64(n))+costs.AllocBase)
-		fn(buf)
 		tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(n))
 		nv := version{wts: tx.TS, data: buf, pending: true, owner: st}
 		pos := i + 1
@@ -285,18 +353,20 @@ func (s *MVCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []
 		e.versions[pos] = nv
 
 		if len(e.versions) > maxChain {
-			s.prune(e, st.minTS)
+			s.prune(e, st.minTS, tx.P.ID(), t.ID)
 		}
 		e.latch.Release(tx.P, stats.Manager)
 		st.pending = append(st.pending, pendingRec{t: t, slot: slot})
-		return nil
+		return buf, nil
 	}
 }
 
 // prune drops committed versions no active transaction can reach: every
 // version strictly older than the newest version with wts <= watermark.
+// Dropped buffers are recycled onto the pruning worker's stack — the
+// watermark proves no active transaction can still be served from them.
 // Caller holds e.latch.
-func (s *MVCC) prune(e *entry, watermark uint64) {
+func (s *MVCC) prune(e *entry, watermark uint64, wid, tid int) {
 	keepFrom := -1
 	for i := len(e.versions) - 1; i >= 0; i-- {
 		if e.versions[i].wts <= watermark && !e.versions[i].pending {
@@ -306,6 +376,9 @@ func (s *MVCC) prune(e *entry, watermark uint64) {
 	}
 	if keepFrom <= 0 {
 		return
+	}
+	for i := 0; i < keepFrom; i++ {
+		s.putBuf(wid, tid, e.versions[i].data)
 	}
 	// The version at keepFrom becomes the new floor; absorb its
 	// predecessor's role by promoting it into the base.
@@ -326,6 +399,14 @@ func (s *MVCC) Commit(tx *core.TxnCtx) error {
 				e.versions[i].owner = nil
 			}
 		}
+		// Opportunistic pruning under the latch already held: commits
+		// are where versions become reclaimable, and pruning here (at
+		// zero modeled cost — garbage collection is not part of the
+		// paper's cost model) keeps chains short and recycles buffers
+		// instead of waiting for a chain to hit maxChain.
+		if len(e.versions) > 1 {
+			s.prune(e, st.minTS, tx.P.ID(), pr.t.ID)
+		}
 		s.wakeAll(tx.P, e)
 		e.latch.Release(tx.P, stats.Manager)
 	}
@@ -334,7 +415,9 @@ func (s *MVCC) Commit(tx *core.TxnCtx) error {
 	return nil
 }
 
-// Abort implements core.Scheme: unlink pending versions.
+// Abort implements core.Scheme: unlink pending versions, recycling their
+// buffers (a pending version is private to its owner, so no other
+// transaction can hold a reference).
 func (s *MVCC) Abort(tx *core.TxnCtx) {
 	st := tx.State.(*txnState)
 	for _, pr := range st.pending {
@@ -343,6 +426,7 @@ func (s *MVCC) Abort(tx *core.TxnCtx) {
 		tx.P.Tick(stats.Abort, costs.ManagerOp)
 		for i := 0; i < len(e.versions); {
 			if e.versions[i].pending && e.versions[i].owner == st {
+				s.putBuf(tx.P.ID(), pr.t.ID, e.versions[i].data)
 				e.versions = append(e.versions[:i], e.versions[i+1:]...)
 				continue
 			}

@@ -23,7 +23,7 @@
 package occ
 
 import (
-	"sort"
+	"slices"
 
 	"abyss1000/internal/core"
 	"abyss1000/internal/costs"
@@ -131,6 +131,19 @@ func (s *OCC) entryOf(t *storage.Table, slot int) *entry {
 	return &s.meta[t.ID][slot]
 }
 
+// sortWrites orders the write set by canonical (table, slot), the global
+// latch-acquisition order that makes the install phase deadlock-free.
+// slices.SortFunc is generic — no interface boxing, no reflection, no
+// allocation — unlike sort.Slice, which would allocate on every commit.
+func sortWrites(w []writeRec) {
+	slices.SortFunc(w, func(a, b writeRec) int {
+		if a.t.ID != b.t.ID {
+			return a.t.ID - b.t.ID
+		}
+		return a.slot - b.slot
+	})
+}
+
 func (st *txnState) findWrite(t *storage.Table, slot int) *writeRec {
 	for i := range st.writes {
 		if st.writes[i].t == t && st.writes[i].slot == slot {
@@ -180,14 +193,14 @@ func (s *OCC) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) 
 	return rec.buf, nil
 }
 
-// Write implements core.Scheme: buffer the write privately. The implicit
-// read (fn may RMW) joins the read set so validation catches conflicts.
-func (s *OCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+// WriteRow implements core.Scheme: return the private workspace buffer
+// for the caller to mutate. The implicit read (callers may RMW the
+// returned image) joins the read set so validation catches conflicts.
+func (s *OCC) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 	st := tx.State.(*txnState)
 	if w := st.findWrite(t, slot); w != nil {
-		fn(w.buf)
 		tx.P.Tick(stats.Useful, costs.CopyCost(uint64(len(w.buf))))
-		return nil
+		return w.buf, nil
 	}
 	var buf []byte
 	if r := st.findRead(t, slot); r != nil {
@@ -197,9 +210,8 @@ func (s *OCC) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []b
 		st.reads = append(st.reads, rec)
 		buf = rec.buf
 	}
-	fn(buf)
 	st.writes = append(st.writes, writeRec{t: t, slot: slot, buf: buf})
-	return nil
+	return buf, nil
 }
 
 // Commit implements core.Scheme: parallel per-tuple validation (or, in
@@ -216,13 +228,7 @@ func (s *OCC) Commit(tx *core.TxnCtx) error {
 	}
 
 	// Phase 1: lock the write set in canonical order.
-	sort.Slice(st.writes, func(i, j int) bool {
-		a, b := &st.writes[i], &st.writes[j]
-		if a.t.ID != b.t.ID {
-			return a.t.ID < b.t.ID
-		}
-		return a.slot < b.slot
-	})
+	sortWrites(st.writes)
 	for i := range st.writes {
 		w := &st.writes[i]
 		e := s.entryOf(w.t, w.slot)

@@ -81,6 +81,9 @@ func (s *TO) Setup(db *core.DB) {
 		entries := make([]tupleTS, t.Capacity())
 		for i := range entries {
 			entries[i].latch = db.RT.NewLatch(uint64(t.ID)<<44 | 0x70<<36 | uint64(i))
+			// Pre-size the prewrite list so a tuple's first reservation
+			// never allocates on the access path.
+			entries[i].pends = make([]pend, 0, 1)
 		}
 		s.meta[t.ID] = entries
 	}
@@ -166,15 +169,18 @@ func (s *TO) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 	}
 }
 
-// Write implements core.Scheme: an Update is a read-modify-write, so the
-// read rule applies too; passing both rules installs a prewrite that later
-// operations must respect.
-func (s *TO) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+// WriteRow implements core.Scheme: an update is a read-modify-write, so
+// the read rule applies too; passing both rules installs a prewrite that
+// later operations must respect. The returned buffer is the transaction's
+// private prewrite image (seeded with the tuple's current contents); the
+// caller mutates it in place and Commit installs it. No other transaction
+// can observe the buffer before then — readers and writers ordered after
+// this prewrite wait for its resolution, earlier ones read older state.
+func (s *TO) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 	st := tx.State.(*txnState)
 	if w := st.findWrite(t, slot); w != nil {
-		fn(w.buf)
 		tx.P.Tick(stats.Useful, costs.CopyCost(uint64(len(w.buf))))
-		return nil
+		return w.buf, nil
 	}
 	e := s.entry(t, slot)
 	for {
@@ -182,7 +188,7 @@ func (s *TO) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []by
 		tx.P.Tick(stats.Manager, costs.ManagerOp)
 		if tx.TS < e.wts || tx.TS < e.rts {
 			e.latch.Release(tx.P, stats.Manager)
-			return core.ErrAbort
+			return nil, core.ErrAbort
 		}
 		if blockedBy(e, tx.TS) {
 			// Our RMW must observe the earlier pending write.
@@ -200,7 +206,6 @@ func (s *TO) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []by
 		tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(n))
 		copy(buf, t.Row(slot))
 		tx.P.Tick(stats.Manager, costs.CopyCost(uint64(n)))
-		fn(buf)
 		// Insert in ascending ts order (ours is the max outstanding:
 		// anything larger would have waited on us... but an earlier
 		// prewrite may still arrive only if its ts > rts — impossible
@@ -208,7 +213,7 @@ func (s *TO) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []by
 		e.pends = append(e.pends, pend{ts: tx.TS, st: st, buf: buf})
 		e.latch.Release(tx.P, stats.Manager)
 		st.writes = append(st.writes, writeRec{t: t, slot: slot, buf: buf})
-		return nil
+		return buf, nil
 	}
 }
 

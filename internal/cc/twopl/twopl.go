@@ -185,6 +185,9 @@ func (s *TwoPL) Setup(db *core.DB) {
 		entries := make([]lockEntry, t.Capacity())
 		for i := range entries {
 			entries[i].latch = db.RT.NewLatch(uint64(t.ID)<<44 | 0x2B<<36 | uint64(i))
+			// Pre-size the holder list so a tuple's first lock grant
+			// never allocates on the access path.
+			entries[i].holders = make([]holder, 0, 2)
 		}
 		s.meta[t.ID] = entries
 	}
@@ -255,11 +258,13 @@ func (s *TwoPL) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error
 	return t.Row(slot), nil
 }
 
-// Write implements core.Scheme: acquire an exclusive lock, capture an undo
-// image, and mutate the live row.
-func (s *TwoPL) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error {
+// WriteRow implements core.Scheme: acquire an exclusive lock, capture an
+// undo image, and hand back the live row for in-place mutation. The row
+// stays exclusively locked until transaction end, so the caller's writes
+// after return are isolated.
+func (s *TwoPL) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 	if err := s.lock(tx, t, slot, modeExcl); err != nil {
-		return err
+		return nil, err
 	}
 	st := tx.State.(*txnState)
 	row := t.Row(slot)
@@ -278,9 +283,8 @@ func (s *TwoPL) Write(tx *core.TxnCtx, t *storage.Table, slot int, fn func(row [
 		tx.P.Tick(stats.Manager, costs.CopyCost(uint64(len(row))))
 		st.undo = append(st.undo, undoRec{t: t, slot: slot, img: img})
 	}
-	fn(row)
 	tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(len(row)))
-	return nil
+	return row, nil
 }
 
 // lock acquires (or upgrades to) the requested mode on (t, slot).
@@ -412,8 +416,12 @@ func (s *TwoPL) wait(tx *core.TxnCtx, st *txnState, e *lockEntry, want lockMode,
 		e.waiters[pos] = w
 	case upgrade:
 		// Upgrades go to the head so a sole-holder promotion is never
-		// starved behind incompatible requests.
-		e.waiters = append([]waiter{w}, e.waiters...)
+		// starved behind incompatible requests. Shift in place rather
+		// than rebuilding the slice, keeping the wait path allocation-
+		// free once the queue's capacity has grown.
+		e.waiters = append(e.waiters, waiter{})
+		copy(e.waiters[1:], e.waiters)
+		e.waiters[0] = w
 	default:
 		e.waiters = append(e.waiters, w)
 	}

@@ -278,9 +278,12 @@ func TestUpgradeSoleHolder(t *testing.T) {
 					if err != nil {
 						return err
 					}
-					return tx.Update(f.Table, 3, func(row []byte) {
-						f.Table.Schema.PutU64(row, 1, v0+41)
-					})
+					row, err := tx.UpdateRow(f.Table, 3)
+					if err != nil {
+						return err
+					}
+					f.Table.Schema.PutU64(row, 1, v0+41)
+					return nil
 				}})
 				if err != nil {
 					t.Errorf("upgrade failed: %v", err)

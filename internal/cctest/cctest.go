@@ -53,12 +53,16 @@ func (f *Fixture) Get(slot int) uint64 {
 	return f.Table.Schema.GetU64(f.Table.Row(slot), 1)
 }
 
-// Bump returns a Txn body op incrementing slot by delta.
+// Bump increments counter slot by delta through the scheme's write path
+// (a WriteRow read-modify-write).
 func (f *Fixture) Bump(tx *core.TxnCtx, slot int, delta uint64) error {
 	sc := f.Table.Schema
-	return tx.Update(f.Table, slot, func(row []byte) {
-		sc.PutU64(row, 1, sc.GetU64(row, 1)+delta)
-	})
+	row, err := tx.UpdateRow(f.Table, slot)
+	if err != nil {
+		return err
+	}
+	sc.PutU64(row, 1, sc.GetU64(row, 1)+delta)
+	return nil
 }
 
 // ReadVal reads slot's value through the scheme.

@@ -74,10 +74,9 @@ func TestDeferredInsertVisibility(t *testing.T) {
 	f.Engine.Run(func(p rt.Proc) {
 		w := core.NewWorker(p, f.DB, scheme)
 		err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
-			tx.Insert(idx, 1000, func(row []byte) {
-				f.Table.Schema.PutU64(row, 0, 1000)
-				f.Table.Schema.PutU64(row, 1, 77)
-			})
+			row := tx.InsertRow(idx, 1000)
+			f.Table.Schema.PutU64(row, 0, 1000)
+			f.Table.Schema.PutU64(row, 1, 77)
 			// Invisible inside the transaction (deferred-insert
 			// protocol: no index entry yet).
 			if _, ok := tx.Lookup(idx, 1000); ok {
@@ -116,9 +115,8 @@ func TestAbortedInsertNeverMaterializes(t *testing.T) {
 	f.Engine.Run(func(p rt.Proc) {
 		w := core.NewWorker(p, f.DB, scheme)
 		_ = w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
-			tx.Insert(idx, 2000, func(row []byte) {
-				f.Table.Schema.PutU64(row, 0, 2000)
-			})
+			row := tx.InsertRow(idx, 2000)
+			f.Table.Schema.PutU64(row, 0, 2000)
 			return core.ErrUserAbort
 		}})
 		_ = w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {

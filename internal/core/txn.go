@@ -34,11 +34,14 @@ type Scheme interface {
 	// MVCC. It may return ErrAbort.
 	Read(tx *TxnCtx, t *storage.Table, slot int) ([]byte, error)
 
-	// Write declares a write of (t, slot) and applies fn to the target
-	// buffer (the live row under 2PL after undo capture; a workspace or
-	// version buffer under T/O schemes). fn may read the buffer's prior
-	// contents, so read-modify-write needs no separate lock upgrade.
-	Write(tx *TxnCtx, t *storage.Table, slot int, fn func(row []byte)) error
+	// WriteRow declares a write of (t, slot) and returns the target
+	// buffer for the caller to mutate in place (the live row under 2PL
+	// after undo capture; a workspace or version buffer under T/O
+	// schemes). The buffer holds the row's current image, so
+	// read-modify-write needs no separate lock upgrade and no closure —
+	// the access path stays allocation-free. The buffer is valid until
+	// Commit/Abort; callers must not retain it past transaction end.
+	WriteRow(tx *TxnCtx, t *storage.Table, slot int) ([]byte, error)
 
 	// Commit finalizes the transaction (validation, applying buffered
 	// writes, releasing locks). On error the engine calls Abort.
@@ -113,26 +116,31 @@ func (tx *TxnCtx) Read(t *storage.Table, slot int) ([]byte, error) {
 	return row, nil
 }
 
-// Update declares a write on (t, slot) and runs fn against the scheme's
-// target buffer. fn may read-modify-write.
-func (tx *TxnCtx) Update(t *storage.Table, slot int, fn func(row []byte)) error {
+// UpdateRow declares a write on (t, slot) and returns the scheme's target
+// buffer, which holds the row's current image; the caller mutates it in
+// place (read-modify-write needs no second call). The buffer is valid
+// until Commit/Abort.
+func (tx *TxnCtx) UpdateRow(t *storage.Table, slot int) ([]byte, error) {
 	tx.tuples++
-	if err := tx.W.Scheme.Write(tx, t, slot, fn); err != nil {
-		return err
+	row, err := tx.W.Scheme.WriteRow(tx, t, slot)
+	if err != nil {
+		return nil, err
 	}
 	tx.P.Tick(stats.Useful, costs.UsefulPerRow)
-	return nil
+	return row, nil
 }
 
-// Insert stages a new row for idx's table under key; fill populates the
-// private staging buffer. The row becomes visible atomically at commit.
-func (tx *TxnCtx) Insert(idx *index.Hash, key uint64, fill func(row []byte)) {
+// InsertRow stages a new row for idx's table under key and returns the
+// private staging buffer for the caller to populate (contents are
+// unspecified until written). The row becomes visible atomically at
+// commit (deferred-insert protocol).
+func (tx *TxnCtx) InsertRow(idx *index.Hash, key uint64) []byte {
 	tx.tuples++
 	t := idx.Table()
 	buf := tx.Alloc.Alloc(tx.P, stats.Useful, t.Schema.RowSize())
-	fill(buf)
 	tx.P.Tick(stats.Useful, costs.UsefulPerRow+costs.CopyCost(uint64(len(buf))))
 	tx.inserts = append(tx.inserts, insertRec{idx: idx, key: key, buf: buf})
+	return buf
 }
 
 // applyInserts materializes staged inserts after a successful Commit.

@@ -142,11 +142,11 @@ func (t *counterTxn) Committed() {
 func (t *counterTxn) Run(tx *core.TxnCtx) error {
 	sc := t.wl.table.Schema
 	for _, k := range t.keys {
-		if err := tx.Update(t.wl.table, k, func(row []byte) {
-			sc.PutU64(row, 1, sc.GetU64(row, 1)+1)
-		}); err != nil {
+		row, err := tx.UpdateRow(t.wl.table, k)
+		if err != nil {
 			return err
 		}
+		sc.PutU64(row, 1, sc.GetU64(row, 1)+1)
 	}
 	return nil
 }

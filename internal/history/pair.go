@@ -87,12 +87,12 @@ func (t *pairTxn) Run(tx *core.TxnCtx) error {
 		t.obs = PairObservation{Pair: uint64(t.pair), A: va, B: vb}
 		return nil
 	}
-	for _, slot := range []int{a, b} {
-		if err := tx.Update(t.wl.table, slot, func(row []byte) {
-			sc.PutU64(row, 1, sc.GetU64(row, 1)+1)
-		}); err != nil {
+	for _, slot := range [2]int{a, b} {
+		row, err := tx.UpdateRow(t.wl.table, slot)
+		if err != nil {
 			return err
 		}
+		sc.PutU64(row, 1, sc.GetU64(row, 1)+1)
 	}
 	return nil
 }

@@ -109,11 +109,11 @@ func (t *registerTxn) Run(tx *core.TxnCtx) error {
 	for i, k := range t.keys {
 		if t.writes[i] {
 			v := t.uniqueValue()
-			if err := tx.Update(t.wl.table, k, func(row []byte) {
-				sc.PutU64(row, 1, v)
-			}); err != nil {
+			row, err := tx.UpdateRow(t.wl.table, k)
+			if err != nil {
 				return err
 			}
+			sc.PutU64(row, 1, v)
 			t.log.Ops = append(t.log.Ops, RegisterOp{Key: k, Value: v, Write: true})
 		} else {
 			row, err := tx.Read(t.wl.table, k)

@@ -18,10 +18,44 @@ type entry struct {
 	slot int32
 }
 
-// bucket is one hash bucket: a latch plus an open chain of entries.
+// bucket is one hash bucket: a latch plus an open chain of entries. The
+// first inlineEntries mappings live directly in the bucket, so inserting
+// into a fresh bucket — the common case when the bucket count is sized to
+// the key count — touches no allocator at all; only collision chains
+// longer than the inline space spill into the overflow slice. This keeps
+// the runtime insert path (TPC-C's ORDERS/ORDER_LINE/HISTORY appends)
+// steady-state allocation-free.
 type bucket struct {
-	latch   rt.Latch
-	entries []entry
+	latch    rt.Latch
+	n        int32 // total entries (inline + overflow)
+	inline   [inlineEntries]entry
+	overflow []entry
+}
+
+// inlineEntries is the per-bucket inline capacity.
+const inlineEntries = 2
+
+// at returns entry i of the bucket's logical chain.
+func (b *bucket) at(i int32) *entry {
+	if i < inlineEntries {
+		return &b.inline[i]
+	}
+	return &b.overflow[i-inlineEntries]
+}
+
+// push appends a mapping to the chain.
+func (b *bucket) push(e entry) {
+	if b.n < inlineEntries {
+		b.inline[b.n] = e
+	} else {
+		if b.overflow == nil {
+			// First spill: reserve enough that a hot bucket settles
+			// after one allocation.
+			b.overflow = make([]entry, 0, 4)
+		}
+		b.overflow = append(b.overflow, e)
+	}
+	b.n++
 }
 
 // Hash is a fixed-bucket-count hash index from uint64 keys to row slots.
@@ -70,11 +104,11 @@ func (h *Hash) Lookup(p rt.Proc, key uint64) (int, bool) {
 	b, i := h.bucketOf(key)
 	b.latch.Acquire(p, stats.Index)
 	p.MemRead(stats.Index, h.memKey(i), 16)
-	p.Tick(stats.Index, costs.IndexProbe+uint64(len(b.entries)))
+	p.Tick(stats.Index, costs.IndexProbe+uint64(b.n))
 	slot, ok := -1, false
-	for j := range b.entries {
-		if b.entries[j].key == key {
-			slot, ok = int(b.entries[j].slot), true
+	for j := int32(0); j < b.n; j++ {
+		if e := b.at(j); e.key == key {
+			slot, ok = int(e.slot), true
 			break
 		}
 	}
@@ -90,7 +124,7 @@ func (h *Hash) Insert(p rt.Proc, key uint64, slot int) {
 	b.latch.Acquire(p, stats.Index)
 	p.MemWrite(stats.Index, h.memKey(i), 16)
 	p.Tick(stats.Index, costs.IndexInsert)
-	b.entries = append(b.entries, entry{key: key, slot: int32(slot)})
+	b.push(entry{key: key, slot: int32(slot)})
 	b.latch.Release(p, stats.Index)
 }
 
@@ -101,13 +135,15 @@ func (h *Hash) Remove(p rt.Proc, key uint64, slot int) bool {
 	b, i := h.bucketOf(key)
 	b.latch.Acquire(p, stats.Index)
 	p.MemWrite(stats.Index, h.memKey(i), 16)
-	p.Tick(stats.Index, costs.IndexProbe+uint64(len(b.entries)))
+	p.Tick(stats.Index, costs.IndexProbe+uint64(b.n))
 	removed := false
-	for j := range b.entries {
-		if b.entries[j].key == key && int(b.entries[j].slot) == slot {
-			last := len(b.entries) - 1
-			b.entries[j] = b.entries[last]
-			b.entries = b.entries[:last]
+	for j := int32(0); j < b.n; j++ {
+		if e := b.at(j); e.key == key && int(e.slot) == slot {
+			*e = *b.at(b.n - 1) // swap-delete with the chain's last entry
+			if b.n > inlineEntries {
+				b.overflow = b.overflow[:len(b.overflow)-1]
+			}
+			b.n--
 			removed = true
 			break
 		}
@@ -120,7 +156,7 @@ func (h *Hash) Remove(p rt.Proc, key uint64, slot int) bool {
 // or cost accounting.
 func (h *Hash) LoadInsert(key uint64, slot int) {
 	b, _ := h.bucketOf(key)
-	b.entries = append(b.entries, entry{key: key, slot: int32(slot)})
+	b.push(entry{key: key, slot: int32(slot)})
 }
 
 // CompositeKey packs up to four small ids into one uint64 index key,

@@ -109,6 +109,9 @@ func NewTable(id int, schema *Schema, capacity, loaded, nworkers int) *Table {
 	if loaded > capacity {
 		panic(fmt.Sprintf("storage: table %s loaded %d > capacity %d", schema.Name, loaded, capacity))
 	}
+	if nworkers <= 0 {
+		panic(fmt.Sprintf("storage: table %s needs at least one worker for its insert segments, got %d", schema.Name, nworkers))
+	}
 	t := &Table{
 		ID:       id,
 		Schema:   schema,
@@ -124,9 +127,7 @@ func NewTable(id int, schema *Schema, capacity, loaded, nworkers int) *Table {
 		t.segBase[w] = loaded + w*per
 		t.segEnd[w] = loaded + (w+1)*per
 	}
-	if nworkers > 0 {
-		t.segEnd[nworkers-1] = capacity
-	}
+	t.segEnd[nworkers-1] = capacity
 	return t
 }
 

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -140,6 +141,26 @@ func TestNewTablePanicsWhenLoadedExceedsCapacity(t *testing.T) {
 		}
 	}()
 	NewTable(0, testSchema(), 5, 6, 1)
+}
+
+func TestNewTablePanicsOnZeroWorkers(t *testing.T) {
+	for _, nworkers := range []int{0, -1} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("expected panic for nworkers=%d", nworkers)
+				}
+				// The message must name the problem, not be the
+				// runtime's opaque divide-by-zero error.
+				msg, ok := r.(string)
+				if !ok || !strings.Contains(msg, "worker") {
+					t.Fatalf("nworkers=%d: panic %v, want a descriptive storage error", nworkers, r)
+				}
+			}()
+			NewTable(0, testSchema(), 8, 4, nworkers)
+		}()
+	}
 }
 
 func TestMemKeyUniquePerSlotAndTable(t *testing.T) {

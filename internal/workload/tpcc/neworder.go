@@ -120,15 +120,13 @@ func (t *newOrderTxn) Run(tx *core.TxnCtx) error {
 		panic("tpcc: district missing")
 	}
 	dsc := w.district.Schema
-	var dtax int64
-	var oid uint64
-	if err := tx.Update(w.district, dslot, func(row []byte) {
-		dtax = dsc.GetI64(row, DTax)
-		oid = dsc.GetU64(row, DNextOID)
-		dsc.PutU64(row, DNextOID, oid+1)
-	}); err != nil {
+	drow, err := tx.UpdateRow(w.district, dslot)
+	if err != nil {
 		return err
 	}
+	dtax := dsc.GetI64(drow, DTax)
+	oid := dsc.GetU64(drow, DNextOID)
+	dsc.PutU64(drow, DNextOID, oid+1)
 
 	// Customer discount.
 	cslot, ok := tx.Lookup(w.idxCustomer, customerKey(t.wid, t.did, t.cid))
@@ -169,37 +167,35 @@ func (t *newOrderTxn) Run(tx *core.TxnCtx) error {
 		}
 		remote := in.supply != t.wid
 		qty := in.qty
-		if err := tx.Update(w.stock, sslot, func(row []byte) {
-			q := ssc.GetI64(row, SQuantity)
-			if q >= qty+10 {
-				q -= qty
-			} else {
-				q = q - qty + 91
-			}
-			ssc.PutI64(row, SQuantity, q)
-			ssc.PutI64(row, SYTD, ssc.GetI64(row, SYTD)+qty)
-			ssc.PutU64(row, SOrderCnt, ssc.GetU64(row, SOrderCnt)+1)
-			if remote {
-				ssc.PutU64(row, SRemoteCnt, ssc.GetU64(row, SRemoteCnt)+1)
-			}
-		}); err != nil {
+		srow, err := tx.UpdateRow(w.stock, sslot)
+		if err != nil {
 			return err
+		}
+		q := ssc.GetI64(srow, SQuantity)
+		if q >= qty+10 {
+			q -= qty
+		} else {
+			q = q - qty + 91
+		}
+		ssc.PutI64(srow, SQuantity, q)
+		ssc.PutI64(srow, SYTD, ssc.GetI64(srow, SYTD)+qty)
+		ssc.PutU64(srow, SOrderCnt, ssc.GetU64(srow, SOrderCnt)+1)
+		if remote {
+			ssc.PutU64(srow, SRemoteCnt, ssc.GetU64(srow, SRemoteCnt)+1)
 		}
 
 		amount := qty * price
 		total += amount
 		olNum := uint64(i) + 1
-		iid, supply := in.iid, in.supply
-		tx.Insert(w.idxOrderLine, orderLineKey(t.wid, t.did, oid, olNum), func(row []byte) {
-			olsc.PutU64(row, OLOID, oid)
-			olsc.PutU64(row, OLDID, t.did)
-			olsc.PutU64(row, OLWID, t.wid)
-			olsc.PutU64(row, OLNumber, olNum)
-			olsc.PutU64(row, OLIID, iid)
-			olsc.PutU64(row, OLSupplyWID, supply)
-			olsc.PutI64(row, OLQuantity, qty)
-			olsc.PutI64(row, OLAmount, amount)
-		})
+		olrow := tx.InsertRow(w.idxOrderLine, orderLineKey(t.wid, t.did, oid, olNum))
+		olsc.PutU64(olrow, OLOID, oid)
+		olsc.PutU64(olrow, OLDID, t.did)
+		olsc.PutU64(olrow, OLWID, t.wid)
+		olsc.PutU64(olrow, OLNumber, olNum)
+		olsc.PutU64(olrow, OLIID, in.iid)
+		olsc.PutU64(olrow, OLSupplyWID, in.supply)
+		olsc.PutI64(olrow, OLQuantity, qty)
+		olsc.PutI64(olrow, OLAmount, amount)
 	}
 
 	// total with taxes and discount (output only; keeps the arithmetic
@@ -214,21 +210,19 @@ func (t *newOrderTxn) Run(tx *core.TxnCtx) error {
 		allLocal = 0
 	}
 	nItems := uint64(len(t.items))
-	tx.Insert(w.idxOrders, orderKey(t.wid, t.did, oid), func(row []byte) {
-		osc.PutU64(row, OID, oid)
-		osc.PutU64(row, OCID, t.cid)
-		osc.PutU64(row, ODID, t.did)
-		osc.PutU64(row, OWID, t.wid)
-		osc.PutU64(row, OEntryD, tx.P.Now())
-		osc.PutU64(row, OOLCnt, nItems)
-		osc.PutU64(row, OAllLocal, allLocal)
-	})
+	orow := tx.InsertRow(w.idxOrders, orderKey(t.wid, t.did, oid))
+	osc.PutU64(orow, OID, oid)
+	osc.PutU64(orow, OCID, t.cid)
+	osc.PutU64(orow, ODID, t.did)
+	osc.PutU64(orow, OWID, t.wid)
+	osc.PutU64(orow, OEntryD, tx.P.Now())
+	osc.PutU64(orow, OOLCnt, nItems)
+	osc.PutU64(orow, OAllLocal, allLocal)
 	nosc := w.neworder.Schema
-	tx.Insert(w.idxNewOrder, orderKey(t.wid, t.did, oid), func(row []byte) {
-		nosc.PutU64(row, NOOID, oid)
-		nosc.PutU64(row, NODID, t.did)
-		nosc.PutU64(row, NOWID, t.wid)
-	})
+	norow := tx.InsertRow(w.idxNewOrder, orderKey(t.wid, t.did, oid))
+	nosc.PutU64(norow, NOOID, oid)
+	nosc.PutU64(norow, NODID, t.did)
+	nosc.PutU64(norow, NOWID, t.wid)
 	return nil
 }
 

@@ -61,11 +61,11 @@ func (t *paymentTxn) Run(tx *core.TxnCtx) error {
 		panic("tpcc: warehouse missing")
 	}
 	sc := w.warehouse.Schema
-	if err := tx.Update(w.warehouse, wslot, func(row []byte) {
-		sc.PutI64(row, WYTD, sc.GetI64(row, WYTD)+t.amount)
-	}); err != nil {
+	wrow, err := tx.UpdateRow(w.warehouse, wslot)
+	if err != nil {
 		return err
 	}
+	sc.PutI64(wrow, WYTD, sc.GetI64(wrow, WYTD)+t.amount)
 
 	// District: D_YTD += amount.
 	dslot, ok := tx.Lookup(w.idxDistrict, districtKey(t.wid, t.did))
@@ -73,11 +73,11 @@ func (t *paymentTxn) Run(tx *core.TxnCtx) error {
 		panic("tpcc: district missing")
 	}
 	dsc := w.district.Schema
-	if err := tx.Update(w.district, dslot, func(row []byte) {
-		dsc.PutI64(row, DYTD, dsc.GetI64(row, DYTD)+t.amount)
-	}); err != nil {
+	drow, err := tx.UpdateRow(w.district, dslot)
+	if err != nil {
 		return err
 	}
+	dsc.PutI64(drow, DYTD, dsc.GetI64(drow, DYTD)+t.amount)
 
 	// Customer: balance down, YTD payment up, payment count up.
 	cslot, ok := tx.Lookup(w.idxCustomer, customerKey(t.cwid, t.cdid, t.cid))
@@ -85,27 +85,26 @@ func (t *paymentTxn) Run(tx *core.TxnCtx) error {
 		panic("tpcc: customer missing")
 	}
 	csc := w.customer.Schema
-	if err := tx.Update(w.customer, cslot, func(row []byte) {
-		csc.PutI64(row, CBalance, csc.GetI64(row, CBalance)-t.amount)
-		csc.PutI64(row, CYTDPayment, csc.GetI64(row, CYTDPayment)+t.amount)
-		csc.PutU64(row, CPaymentCnt, csc.GetU64(row, CPaymentCnt)+1)
-	}); err != nil {
+	crow, err := tx.UpdateRow(w.customer, cslot)
+	if err != nil {
 		return err
 	}
+	csc.PutI64(crow, CBalance, csc.GetI64(crow, CBalance)-t.amount)
+	csc.PutI64(crow, CYTDPayment, csc.GetI64(crow, CYTDPayment)+t.amount)
+	csc.PutU64(crow, CPaymentCnt, csc.GetU64(crow, CPaymentCnt)+1)
 
 	// History append.
 	w.hseq[t.worker]++
 	hkey := historyKey(t.worker, w.hseq[t.worker])
 	hsc := w.history.Schema
-	tx.Insert(w.idxHistory, hkey, func(row []byte) {
-		hsc.PutU64(row, HCID, t.cid)
-		hsc.PutU64(row, HCDID, t.cdid)
-		hsc.PutU64(row, HCWID, t.cwid)
-		hsc.PutU64(row, HDID, t.did)
-		hsc.PutU64(row, HWID, t.wid)
-		hsc.PutU64(row, HDate, tx.P.Now())
-		hsc.PutI64(row, HAmount, t.amount)
-	})
+	hrow := tx.InsertRow(w.idxHistory, hkey)
+	hsc.PutU64(hrow, HCID, t.cid)
+	hsc.PutU64(hrow, HCDID, t.cdid)
+	hsc.PutU64(hrow, HCWID, t.cwid)
+	hsc.PutU64(hrow, HDID, t.did)
+	hsc.PutU64(hrow, HWID, t.wid)
+	hsc.PutU64(hrow, HDate, tx.P.Now())
+	hsc.PutI64(hrow, HAmount, t.amount)
 	return nil
 }
 

@@ -11,6 +11,7 @@ import (
 	"math/rand"
 
 	"abyss1000/internal/core"
+	"abyss1000/internal/index"
 	"abyss1000/internal/rt"
 	"abyss1000/internal/storage"
 	"abyss1000/internal/zipf"
@@ -76,6 +77,7 @@ type Workload struct {
 	cfg   Config
 	db    *core.DB
 	table *storage.Table
+	idx   *index.Hash
 	fcol  []int // field column indexes
 
 	gens []*zipf.Generator
@@ -111,7 +113,7 @@ func Build(db *core.DB, cfg Config) *Workload {
 		idx.LoadInsert(uint64(i), i)
 	}
 
-	w := &Workload{cfg: cfg, db: db, table: table}
+	w := &Workload{cfg: cfg, db: db, table: table, idx: idx}
 	for f := 1; f <= cfg.Fields; f++ {
 		w.fcol = append(w.fcol, f)
 	}
@@ -248,23 +250,21 @@ func sortInts(a []int) {
 // Run implements core.Txn.
 func (t *txn) Run(tx *core.TxnCtx) error {
 	w := t.wl
-	idx := w.db.Index("USERTABLE_PK")
 	var sink byte
 	for i := range t.keys {
-		slot, ok := tx.Lookup(idx, t.keys[i])
+		slot, ok := tx.Lookup(w.idx, t.keys[i])
 		if !ok {
 			panic("ycsb: key vanished from primary index")
 		}
 		if t.isWr[i] {
 			f := w.fcol[i%len(w.fcol)]
 			val := tx.P.Rand().Uint64()
-			err := tx.Update(w.table, slot, func(row []byte) {
-				b := w.table.Schema.Bytes(row, f)
-				b[0], b[1], b[2], b[3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
-			})
+			row, err := tx.UpdateRow(w.table, slot)
 			if err != nil {
 				return err
 			}
+			b := w.table.Schema.Bytes(row, f)
+			b[0], b[1], b[2], b[3] = byte(val), byte(val>>8), byte(val>>16), byte(val>>24)
 		} else {
 			row, err := tx.Read(w.table, slot)
 			if err != nil {
