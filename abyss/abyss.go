@@ -1,0 +1,354 @@
+package abyss
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/index"
+	"abyss1000/internal/native"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/storage"
+	"abyss1000/internal/tsalloc"
+)
+
+// The engine types that flow through the public API. They are aliases, not
+// wrappers: a Scheme from NewScheme, a Workload from BuildWorkload and a
+// Txn written against TxnCtx are exactly what the engine executes, so
+// embedding code pays no adaptation cost and external workloads (see
+// abyss1000/workloads/smallbank) are indistinguishable from built-in ones.
+type (
+	// Scheme is a pluggable concurrency-control scheme (§3.2 of the
+	// paper). Obtain instances from NewScheme; implementing new schemes
+	// currently requires engine-internal types.
+	Scheme = core.Scheme
+
+	// Workload generates each worker's transaction stream.
+	Workload = core.Workload
+
+	// Txn is one transaction: program logic intermixed with row accesses.
+	Txn = core.Txn
+
+	// TxnCtx is the per-worker transaction context handed to Txn.Run:
+	// Lookup/Read/UpdateRow/InsertRow are the whole data access surface.
+	TxnCtx = core.TxnCtx
+
+	// Result aggregates one experiment run (commits, aborts, tuple
+	// accesses, the six-component time breakdown, and derived rates).
+	Result = core.Result
+
+	// Proc is one logical core / worker thread: clock, deterministic RNG
+	// and time-breakdown accounting.
+	Proc = rt.Proc
+
+	// Table is a fixed-width row table created by CreateTable.
+	Table = storage.Table
+
+	// Schema describes a Table's columns and provides typed row access.
+	Schema = storage.Schema
+
+	// Col is one fixed-width column of a TableSpec.
+	Col = storage.Col
+
+	// Index is a hash index created by CreateIndex.
+	Index = index.Hash
+
+	// TSMethod selects a timestamp-allocation strategy (§4.3).
+	TSMethod = tsalloc.Method
+
+	// TSAllocator hands out transaction timestamps; see
+	// DB.NewTimestampAllocator.
+	TSAllocator = tsalloc.Allocator
+)
+
+// Sentinel errors returned from transaction bodies.
+var (
+	// ErrAbort is returned by row accesses when concurrency control
+	// aborts the transaction; propagate it out of Txn.Run unchanged and
+	// the engine rolls back and restarts.
+	ErrAbort = core.ErrAbort
+
+	// ErrUserAbort is returned by transaction logic to request a rollback
+	// that counts as completed work (no restart), e.g. TPC-C's 1%
+	// invalid-item NewOrders.
+	ErrUserAbort = core.ErrUserAbort
+)
+
+// Runtime names accepted by Options.Runtime.
+const (
+	// RuntimeSim is the deterministic discrete-event simulator of a tiled
+	// many-core chip (the default): bit-reproducible results, core counts
+	// far beyond the host.
+	RuntimeSim = "sim"
+
+	// RuntimeNative runs workers as real goroutines with real
+	// synchronization; windows are wall-clock nanoseconds and results are
+	// machine-dependent.
+	RuntimeNative = "native"
+)
+
+// MaxCores is the largest worker count Open accepts — the paper's maximum
+// core count, and the bound baked into clock-based timestamp allocation
+// (10 bits of worker id).
+const MaxCores = 1024
+
+// Runtimes lists the valid Options.Runtime values.
+func Runtimes() []string { return []string{RuntimeSim, RuntimeNative} }
+
+// Options configures Open.
+type Options struct {
+	// Runtime selects the execution substrate: RuntimeSim (default) or
+	// RuntimeNative.
+	Runtime string
+
+	// Cores is the number of logical cores / worker threads, in
+	// [1, MaxCores]. Required.
+	Cores int
+
+	// Seed drives every deterministic random stream (per-worker RNGs,
+	// simulated placement). Two sim DBs opened with equal Options produce
+	// byte-identical results for equal work.
+	Seed int64
+}
+
+// DB is an embeddable database instance: a runtime, a catalog of tables
+// and indexes, and the Run entry point. One DB supports one experiment
+// Run; open a fresh DB per measurement so warmup windows and clocks start
+// from zero.
+type DB struct {
+	opts  Options
+	rt    rt.Runtime
+	inner *core.DB
+
+	tables  map[string]*Table
+	indexes map[string]*Index
+	ran     bool
+}
+
+// Open validates opts and creates an empty database on the selected
+// runtime.
+func Open(opts Options) (*DB, error) {
+	if opts.Runtime == "" {
+		opts.Runtime = RuntimeSim
+	}
+	if opts.Cores < 1 || opts.Cores > MaxCores {
+		return nil, fmt.Errorf("abyss: Options.Cores must be in [1, %d], got %d", MaxCores, opts.Cores)
+	}
+	var r rt.Runtime
+	switch opts.Runtime {
+	case RuntimeSim:
+		r = sim.New(opts.Cores, opts.Seed)
+	case RuntimeNative:
+		r = native.New(opts.Cores, opts.Seed)
+	default:
+		return nil, fmt.Errorf("abyss: unknown runtime %q (valid: %s)", opts.Runtime, joinNames(Runtimes()))
+	}
+	return &DB{
+		opts:    opts,
+		rt:      r,
+		inner:   core.NewDB(r),
+		tables:  make(map[string]*Table),
+		indexes: make(map[string]*Index),
+	}, nil
+}
+
+// Options returns the options the DB was opened with (with defaults
+// applied).
+func (db *DB) Options() Options { return db.opts }
+
+// Cores returns the number of logical cores / worker threads.
+func (db *DB) Cores() int { return db.rt.NumProcs() }
+
+// Frequency returns the core clock in Hz used to convert cycle counts to
+// per-second rates (1 GHz simulated; 1 cycle = 1 ns native).
+func (db *DB) Frequency() float64 { return db.rt.Frequency() }
+
+// TableSpec declares one table for CreateTable.
+type TableSpec struct {
+	// Name is the table name, unique within the DB.
+	Name string
+
+	// Cols are the fixed-width columns, in storage order.
+	Cols []Col
+
+	// Capacity is the total slot count. Slots beyond Loaded are divided
+	// into per-worker insert segments for runtime inserts.
+	Capacity int
+
+	// Loaded is how many rows setup code will populate via Table.LoadRow
+	// before the run starts.
+	Loaded int
+}
+
+// CreateTable validates spec and adds the table to the catalog. Populate
+// its first spec.Loaded rows with Table.LoadRow and Schema's Put accessors
+// before Run.
+func (db *DB) CreateTable(spec TableSpec) (*Table, error) {
+	if spec.Name == "" {
+		return nil, fmt.Errorf("abyss: TableSpec.Name must not be empty")
+	}
+	if _, ok := db.tables[spec.Name]; ok {
+		return nil, fmt.Errorf("abyss: table %q already exists", spec.Name)
+	}
+	if len(spec.Cols) == 0 {
+		return nil, fmt.Errorf("abyss: table %q needs at least one column", spec.Name)
+	}
+	for _, c := range spec.Cols {
+		if c.Name == "" || c.Width <= 0 {
+			return nil, fmt.Errorf("abyss: table %q column %q must have a name and positive width, got width %d", spec.Name, c.Name, c.Width)
+		}
+	}
+	if spec.Capacity <= 0 {
+		return nil, fmt.Errorf("abyss: table %q capacity must be positive, got %d", spec.Name, spec.Capacity)
+	}
+	if spec.Loaded < 0 || spec.Loaded > spec.Capacity {
+		return nil, fmt.Errorf("abyss: table %q loaded rows %d out of range [0, capacity %d]", spec.Name, spec.Loaded, spec.Capacity)
+	}
+	schema := storage.NewSchema(spec.Name, spec.Cols...)
+	t := db.inner.Catalog.Add(schema, spec.Capacity, spec.Loaded, db.Cores())
+	db.tables[spec.Name] = t
+	return t, nil
+}
+
+// CreateIndex builds a hash index named name over t, sized for at least
+// minKeys keys. Populate setup-time entries with Index.LoadInsert.
+func (db *DB) CreateIndex(name string, t *Table, minKeys int) (*Index, error) {
+	if name == "" {
+		return nil, fmt.Errorf("abyss: index name must not be empty")
+	}
+	if _, ok := db.indexes[name]; ok {
+		return nil, fmt.Errorf("abyss: index %q already exists", name)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("abyss: index %q needs a table", name)
+	}
+	if minKeys < 1 {
+		minKeys = 1
+	}
+	h := db.inner.AddIndex(name, t, minKeys)
+	db.indexes[name] = h
+	return h, nil
+}
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("abyss: no table %q (have: %s)", name, joinNames(sortedKeys(db.tables)))
+	}
+	return t, nil
+}
+
+// Index returns the named index.
+func (db *DB) Index(name string) (*Index, error) {
+	h, ok := db.indexes[name]
+	if !ok {
+		return nil, fmt.Errorf("abyss: no index %q (have: %s)", name, joinNames(sortedKeys(db.indexes)))
+	}
+	return h, nil
+}
+
+// NewTimestampAllocator builds a timestamp allocator of the given method
+// on this DB's runtime (the §4.3 strategies; see ParseTSMethod).
+func (db *DB) NewTimestampAllocator(m TSMethod) TSAllocator {
+	return tsalloc.New(m, db.rt)
+}
+
+// Go executes body on every core concurrently — simulated or real — and
+// returns when all bodies have returned. This is the raw worker substrate
+// beneath Run, exposed for micro-benchmarks (e.g. timestamp allocation)
+// and custom measurement loops; most embedders only need Run. Like Run it
+// consumes the DB's single measurement (the simulated clock only starts
+// from zero once), so a second Go — or mixing Go and Run — returns an
+// error.
+func (db *DB) Go(body func(p Proc)) error {
+	if body == nil {
+		return fmt.Errorf("abyss: Go needs a body")
+	}
+	if db.ran {
+		return fmt.Errorf("abyss: this DB already ran an experiment; Open a fresh DB per Run/Go")
+	}
+	db.ran = true
+	db.rt.Run(body)
+	return nil
+}
+
+// RunConfig sizes one measurement. Cycles are simulated cycles under
+// RuntimeSim (1 GHz: 1 cycle = 1 ns of simulated time) and wall-clock
+// nanoseconds under RuntimeNative.
+type RunConfig struct {
+	// WarmupCycles is discarded ramp-up time before counters reset.
+	WarmupCycles uint64
+
+	// MeasureCycles is the measurement window; must be positive.
+	MeasureCycles uint64
+
+	// AbortBackoff is the mean randomized restart penalty after a
+	// concurrency-control abort, in cycles. Zero disables backoff.
+	AbortBackoff uint64
+}
+
+// DefaultRunConfig returns a window sized for quick experiments on this
+// DB's runtime: ~0.4 ms simulated (sim) or ~50 ms wall-clock (native)
+// of measurement after warmup.
+func (db *DB) DefaultRunConfig() RunConfig {
+	if db.opts.Runtime == RuntimeNative {
+		return RunConfig{WarmupCycles: 5_000_000, MeasureCycles: 50_000_000, AbortBackoff: 1000}
+	}
+	c := core.DefaultConfig()
+	return RunConfig{WarmupCycles: c.WarmupCycles, MeasureCycles: c.MeasureCycles, AbortBackoff: c.AbortBackoff}
+}
+
+// Run executes wl under scheme for cfg's measurement window and returns
+// the aggregated result. The workload's tables must already be populated
+// (BuildWorkload does this for registered workloads). A DB measures once:
+// clocks and warmup windows are meaningful only from a cold start, so a
+// second Run returns an error — Open a fresh DB instead.
+func (db *DB) Run(scheme Scheme, wl Workload, cfg RunConfig) (res Result, err error) {
+	if scheme == nil {
+		return Result{}, fmt.Errorf("abyss: Run needs a Scheme (see NewScheme)")
+	}
+	if wl == nil {
+		return Result{}, fmt.Errorf("abyss: Run needs a Workload (see BuildWorkload)")
+	}
+	if cfg.MeasureCycles == 0 {
+		return Result{}, fmt.Errorf("abyss: RunConfig.MeasureCycles must be positive (a zero window has no throughput)")
+	}
+	if db.ran {
+		return Result{}, fmt.Errorf("abyss: this DB already ran an experiment; Open a fresh DB per Run/Go")
+	}
+	db.ran = true
+	// The engine reports misconfiguration (exhausted insert segments,
+	// missing indexes) by panicking; at the public boundary those become
+	// errors. Panics on worker goroutines still crash — they indicate
+	// bugs in transaction bodies, not configuration.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("abyss: run failed: %v", r)
+		}
+	}()
+	res = core.Run(db.inner, scheme, wl, core.Config{
+		WarmupCycles:  cfg.WarmupCycles,
+		MeasureCycles: cfg.MeasureCycles,
+		AbortBackoff:  cfg.AbortBackoff,
+	})
+	return res, nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func joinNames(names []string) string {
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ", ")
+}

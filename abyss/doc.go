@@ -1,0 +1,37 @@
+// Package abyss is the public, embeddable front door to the engine: a
+// deterministic many-core simulator (and a native-goroutine runtime), a
+// lightweight main-memory DBMS, the seven concurrency-control schemes of
+// "Staring into the Abyss: An Evaluation of Concurrency Control with One
+// Thousand Cores" (VLDB 2014), and name-keyed registries that make every
+// scheme and workload a plug-in rather than a wiring change.
+//
+// The five-minute tour:
+//
+//	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 64, Seed: 42})
+//	params, err := abyss.DefaultWorkloadParams("ycsb")
+//	wl, err := db.BuildWorkload("ycsb", params)
+//	scheme, err := abyss.NewScheme("MVCC")
+//	res, err := db.Run(scheme, wl, db.DefaultRunConfig())
+//	fmt.Println(res.Throughput(), "txn/s")
+//
+// Everything is keyed by name: Schemes() lists the concurrency-control
+// schemes (the paper's seven plus extensions such as ADAPTIVE), Workloads()
+// lists the registered workloads (YCSB, TPC-C, and any workload registered
+// via RegisterWorkload — see abyss1000/workloads/smallbank for a complete
+// external example), and TSMethodNames() lists the timestamp-allocation
+// strategies. Unknown names return errors enumerating the valid set, and
+// invalid configurations (zero measurement windows, out-of-range
+// probabilities) are rejected before they can produce NaN throughputs.
+//
+// Custom workloads implement the Workload and Txn interfaces against the
+// declarative surface on DB: CreateTable builds fixed-width tables,
+// CreateIndex hashes them, and NewMix turns a set of weighted
+// stored-procedure factories into a Workload. Transaction bodies read and
+// write rows through TxnCtx exactly like the built-in workloads do; the
+// access path is steady-state allocation-free regardless of which scheme
+// is plugged in.
+//
+// Every run on the simulated runtime is deterministic in (Options.Seed,
+// configuration): same inputs, byte-identical Result. The native runtime
+// trades determinism for real wall-clock measurements on host cores.
+package abyss

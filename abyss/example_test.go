@@ -1,0 +1,54 @@
+package abyss_test
+
+import (
+	"fmt"
+	"log"
+
+	"abyss1000/abyss"
+)
+
+// Example embeds the engine end to end: open a simulated 8-core DB, build
+// the YCSB workload and the MVCC scheme by name, run a 0.5 ms
+// measurement, and read the result. The simulator is deterministic, so
+// the printed facts are stable across machines and runs.
+func Example() {
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 8, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	params, err := abyss.DefaultWorkloadParams("ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	params.Rows = 4096
+	params.Theta = 0.6
+	workload, err := db.BuildWorkload("ycsb", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	scheme, err := abyss.NewScheme("MVCC")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Run(scheme, workload, abyss.RunConfig{
+		WarmupCycles:  100_000,
+		MeasureCycles: 500_000,
+		AbortBackoff:  1000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("scheme:", res.Scheme)
+	fmt.Println("workers:", res.Workers)
+	fmt.Println("committed:", res.Commits > 0)
+	fmt.Println("throughput finite:", res.Throughput() > 0)
+	// Output:
+	// scheme: MVCC
+	// workers: 8
+	// committed: true
+	// throughput finite: true
+}

@@ -1,0 +1,110 @@
+package abyss
+
+import "fmt"
+
+// Generator is an optional interface for Txn. When a transaction returned
+// by a Mix implements it, Generate is called with the drawing worker's
+// Proc before each execution so the transaction can draw fresh inputs
+// from the worker's deterministic RNG (p.Rand()). Transactions without it
+// must be self-generating inside Run.
+type Generator interface {
+	Generate(p Proc)
+}
+
+// TxnSpec registers one stored procedure in a Mix.
+type TxnSpec struct {
+	// Name identifies the procedure in errors and tooling.
+	Name string
+
+	// Weight is the procedure's relative draw frequency (any positive
+	// scale; weights are normalized over the Mix).
+	Weight float64
+
+	// New constructs the per-worker transaction instance. It is called
+	// once per worker at Mix build time; the instance is reused for every
+	// draw on that worker (the engine's zero-allocation convention), with
+	// Generate refreshing its inputs per execution.
+	New func(worker int) Txn
+}
+
+// Mix is a Workload drawing weighted stored procedures: the declarative
+// way to define a custom workload against the public API (see
+// abyss1000/workloads/smallbank for a complete client). Draws use the
+// worker's own RNG, so a Mix is deterministic per (seed, worker) like the
+// built-in workloads.
+type Mix struct {
+	names []string
+	cum   []float64 // cumulative normalized weights
+	txns  [][]Txn   // [worker][spec]
+}
+
+// NewMix validates specs and instantiates every procedure once per
+// worker.
+func (db *DB) NewMix(specs ...TxnSpec) (*Mix, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("abyss: a Mix needs at least one TxnSpec")
+	}
+	total := 0.0
+	for i, s := range specs {
+		if s.Name == "" {
+			return nil, fmt.Errorf("abyss: TxnSpec %d needs a name", i)
+		}
+		if s.New == nil {
+			return nil, fmt.Errorf("abyss: TxnSpec %q needs a constructor", s.Name)
+		}
+		if s.Weight < 0 {
+			return nil, fmt.Errorf("abyss: TxnSpec %q weight must be non-negative, got %g", s.Name, s.Weight)
+		}
+		total += s.Weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("abyss: a Mix needs at least one positive weight")
+	}
+	m := &Mix{
+		names: make([]string, len(specs)),
+		cum:   make([]float64, len(specs)),
+		txns:  make([][]Txn, db.Cores()),
+	}
+	acc := 0.0
+	for i, s := range specs {
+		m.names[i] = s.Name
+		acc += s.Weight / total
+		m.cum[i] = acc
+	}
+	m.cum[len(specs)-1] = 1 // immune to rounding
+	for w := range m.txns {
+		m.txns[w] = make([]Txn, len(specs))
+		for i, s := range specs {
+			t := s.New(w)
+			if t == nil {
+				return nil, fmt.Errorf("abyss: TxnSpec %q constructor returned nil for worker %d", s.Name, w)
+			}
+			m.txns[w][i] = t
+		}
+	}
+	return m, nil
+}
+
+// Procedures returns the registered procedure names in spec order.
+func (m *Mix) Procedures() []string {
+	return append([]string(nil), m.names...)
+}
+
+// Next implements Workload: draw a procedure by weight with p's RNG,
+// refresh its inputs via Generate when implemented, and hand it to the
+// engine.
+func (m *Mix) Next(p Proc) Txn {
+	r := p.Rand().Float64()
+	row := m.txns[p.ID()]
+	i := 0
+	for i < len(m.cum)-1 && r >= m.cum[i] {
+		i++
+	}
+	t := row[i]
+	if g, ok := t.(Generator); ok {
+		g.Generate(p)
+	}
+	return t
+}
+
+var _ Workload = (*Mix)(nil)

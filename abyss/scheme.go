@@ -1,0 +1,187 @@
+package abyss
+
+import (
+	"fmt"
+
+	"abyss1000/internal/cc/hstore"
+	"abyss1000/internal/cc/mvcc"
+	"abyss1000/internal/cc/occ"
+	"abyss1000/internal/cc/to"
+	"abyss1000/internal/cc/twopl"
+	"abyss1000/internal/tsalloc"
+)
+
+// SchemeConfig carries the knobs a scheme constructor may consume. The
+// zero value is the paper's default configuration.
+type SchemeConfig struct {
+	// TS is the timestamp-allocation method used by schemes that draw
+	// per-transaction timestamps (WAIT_DIE and all T/O-based schemes).
+	// Defaults to TSAtomic, the paper's DBMS default.
+	TS TSMethod
+}
+
+// SchemeOption mutates a SchemeConfig.
+type SchemeOption func(*SchemeConfig)
+
+// WithTSMethod selects the timestamp-allocation method (see ParseTSMethod
+// and the TS* constants).
+func WithTSMethod(m TSMethod) SchemeOption {
+	return func(c *SchemeConfig) { c.TS = m }
+}
+
+// SchemeInfo is one scheme registry entry.
+type SchemeInfo struct {
+	// Name is the registry key and the value Scheme.Name returns.
+	Name string
+
+	// Desc is a one-line description for listings.
+	Desc string
+
+	// Extension marks schemes beyond the paper's seven (the §6.1 hybrid,
+	// ablation variants, and anything registered by embedders).
+	Extension bool
+
+	// New constructs a fresh scheme instance.
+	New func(cfg SchemeConfig) Scheme
+}
+
+// schemeRegistry holds entries in registration order: the paper's seven
+// first (Table 1 order), then extensions.
+var schemeRegistry []SchemeInfo
+
+func init() {
+	builtin := []SchemeInfo{
+		{Name: "DL_DETECT", Desc: "2PL with deadlock detection",
+			New: func(cfg SchemeConfig) Scheme { return twopl.New(twopl.DLDetect, twopl.Options{}) }},
+		{Name: "NO_WAIT", Desc: "2PL with non-waiting deadlock prevention",
+			New: func(cfg SchemeConfig) Scheme { return twopl.New(twopl.NoWait, twopl.Options{}) }},
+		{Name: "WAIT_DIE", Desc: "2PL with wait-and-die deadlock prevention",
+			New: func(cfg SchemeConfig) Scheme { return twopl.New(twopl.WaitDie, twopl.Options{TsMethod: cfg.TS}) }},
+		{Name: "TIMESTAMP", Desc: "Basic T/O algorithm",
+			New: func(cfg SchemeConfig) Scheme { return to.New(cfg.TS) }},
+		{Name: "MVCC", Desc: "Multi-version T/O",
+			New: func(cfg SchemeConfig) Scheme { return mvcc.New(cfg.TS) }},
+		{Name: "OCC", Desc: "Optimistic concurrency control",
+			New: func(cfg SchemeConfig) Scheme { return occ.New(cfg.TS) }},
+		{Name: "HSTORE", Desc: "T/O with partition-level locking",
+			New: func(cfg SchemeConfig) Scheme { return hstore.New(cfg.TS) }},
+		{Name: "ADAPTIVE", Desc: "Extension: §6.1 DL_DETECT/NO_WAIT hybrid", Extension: true,
+			New: func(cfg SchemeConfig) Scheme { return twopl.NewAdaptive(twopl.Options{}) }},
+		{Name: "OCC_CENTRAL", Desc: "Ablation: OCC with centralized validation", Extension: true,
+			New: func(cfg SchemeConfig) Scheme { return occ.NewCentral(cfg.TS) }},
+	}
+	for _, info := range builtin {
+		MustRegisterScheme(info)
+	}
+}
+
+// RegisterScheme adds a scheme to the registry. It errors on an empty
+// name, a nil constructor, or a duplicate registration.
+func RegisterScheme(info SchemeInfo) error {
+	if info.Name == "" {
+		return fmt.Errorf("abyss: scheme registration needs a name")
+	}
+	if info.New == nil {
+		return fmt.Errorf("abyss: scheme %q registration needs a constructor", info.Name)
+	}
+	for _, e := range schemeRegistry {
+		if e.Name == info.Name {
+			return fmt.Errorf("abyss: scheme %q already registered", info.Name)
+		}
+	}
+	schemeRegistry = append(schemeRegistry, info)
+	return nil
+}
+
+// MustRegisterScheme is RegisterScheme, panicking on error (for init
+// functions).
+func MustRegisterScheme(info SchemeInfo) {
+	if err := RegisterScheme(info); err != nil {
+		panic(err)
+	}
+}
+
+// Schemes returns every registered scheme name in registry order: the
+// paper's seven (Table 1 order), then extensions.
+func Schemes() []string {
+	names := make([]string, len(schemeRegistry))
+	for i, e := range schemeRegistry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// PaperSchemes returns the paper's seven schemes in Table 1 order,
+// excluding extensions.
+func PaperSchemes() []string {
+	var names []string
+	for _, e := range schemeRegistry {
+		if !e.Extension {
+			names = append(names, e.Name)
+		}
+	}
+	return names
+}
+
+// SchemeInfos returns a copy of the registry in order.
+func SchemeInfos() []SchemeInfo {
+	return append([]SchemeInfo(nil), schemeRegistry...)
+}
+
+// NewScheme constructs a registered scheme by name. Unknown names return
+// an error listing the valid set.
+func NewScheme(name string, opts ...SchemeOption) (Scheme, error) {
+	cfg := SchemeConfig{TS: TSAtomic}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	for _, e := range schemeRegistry {
+		if e.Name == name {
+			return e.New(cfg), nil
+		}
+	}
+	return nil, fmt.Errorf("abyss: unknown scheme %q (valid: %s)", name, joinNames(Schemes()))
+}
+
+// Timestamp-allocation methods (§4.3), re-exported for WithTSMethod and
+// DB.NewTimestampAllocator.
+const (
+	// TSMutex serializes allocation through a critical section.
+	TSMutex = tsalloc.Mutex
+	// TSAtomic is one atomic fetch-add per timestamp — the paper's DBMS
+	// default.
+	TSAtomic = tsalloc.Atomic
+	// TSBatch8 and TSBatch16 are Silo-style batched atomic addition.
+	TSBatch8  = tsalloc.Batch8
+	TSBatch16 = tsalloc.Batch16
+	// TSClock reads a synchronized per-core clock.
+	TSClock = tsalloc.Clock
+	// TSHardware is the paper's proposed center-of-chip fetch-add unit.
+	TSHardware = tsalloc.Hardware
+)
+
+// tsMethodNames maps the CLI names accepted by ParseTSMethod, in Fig. 6
+// presentation order.
+var tsMethodNames = []string{"clock", "hw", "batch16", "batch8", "atomic", "mutex"}
+
+// TSMethods returns every timestamp-allocation method in Fig. 6's order.
+func TSMethods() []TSMethod {
+	return append([]TSMethod(nil), tsalloc.Methods...)
+}
+
+// TSMethodNames returns the names ParseTSMethod accepts, in Fig. 6's
+// order.
+func TSMethodNames() []string {
+	return append([]string(nil), tsMethodNames...)
+}
+
+// ParseTSMethod maps a name (see TSMethodNames; "hardware" is accepted for
+// "hw") to a TSMethod. Unknown names return an error listing the valid
+// set.
+func ParseTSMethod(s string) (TSMethod, error) {
+	m, err := tsalloc.ParseMethod(s)
+	if err != nil {
+		return 0, fmt.Errorf("abyss: unknown timestamp method %q (valid: %s)", s, joinNames(TSMethodNames()))
+	}
+	return m, nil
+}

@@ -1,0 +1,124 @@
+package abyss_test
+
+// Scheme smoke tests over the public API — previously internal/core's
+// smoke_test, now driven entirely by the registry: every scheme in
+// abyss.PaperSchemes() commits work on both runtimes, simulated runs are
+// deterministic, and read-only 2PL never aborts. Because the loop ranges
+// over the registry, a newly registered paper-tier scheme is smoke-tested
+// automatically.
+
+import (
+	"testing"
+
+	"abyss1000/abyss"
+)
+
+// smokeParams returns a small YCSB configuration, partitioned when the
+// scheme requires it.
+func smokeParams(t *testing.T, scheme string) abyss.WorkloadParams {
+	t.Helper()
+	p, err := abyss.DefaultWorkloadParams("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Rows = 4096
+	p.FieldSize = 20
+	p.Theta = 0.6
+	if scheme == "HSTORE" {
+		p.Partitioned = true
+		p.MPFraction = 0.2
+		p.MPParts = 2
+	}
+	return p
+}
+
+// runSim opens a fresh simulated DB and runs one measurement.
+func runSim(t *testing.T, cores int, scheme string, wp abyss.WorkloadParams, rc abyss.RunConfig) abyss.Result {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: cores, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := db.BuildWorkload("ycsb", wp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := abyss.NewScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(s, wl, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestSchemesSmokeSim(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 100_000, MeasureCycles: 500_000, AbortBackoff: 500}
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			res := runSim(t, 8, name, smokeParams(t, name), rc)
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing: %+v", name, res)
+			}
+			if name == "HSTORE" && res.Aborts != 0 {
+				t.Fatalf("HSTORE must not have CC aborts on YCSB, got %d", res.Aborts)
+			}
+			t.Logf("%s", res.String())
+		})
+	}
+}
+
+func TestSchemesDeterministicSim(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 50_000, MeasureCycles: 300_000, AbortBackoff: 500}
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			a := runSim(t, 4, name, smokeParams(t, name), rc)
+			b := runSim(t, 4, name, smokeParams(t, name), rc)
+			if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Tuples != b.Tuples {
+				t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+func TestSchemesSmokeNative(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 2_000_000, MeasureCycles: 20_000_000, AbortBackoff: 500} // ns
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeNative, Cores: 4, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := db.BuildWorkload("ycsb", smokeParams(t, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := abyss.NewScheme(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Run(s, wl, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing natively", name)
+			}
+		})
+	}
+}
+
+func TestReadOnlyNoAborts2PL(t *testing.T) {
+	wp := smokeParams(t, "DL_DETECT")
+	wp.ReadPct = 1.0
+	rc := abyss.RunConfig{WarmupCycles: 50_000, MeasureCycles: 300_000}
+	res := runSim(t, 8, "DL_DETECT", wp, rc)
+	if res.Aborts != 0 {
+		t.Fatalf("read-only workload should not abort under 2PL, got %d aborts", res.Aborts)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+}

@@ -1,0 +1,257 @@
+package abyss
+
+import (
+	"fmt"
+
+	"abyss1000/internal/workload/tpcc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+// WorkloadParams is the flat knob set the workload registry builds from.
+// Field groups apply to the workloads that read them; the rest are
+// ignored. Always start from DefaultWorkloadParams(name) — the zero value
+// is rejected — then override what the experiment varies, so an explicit
+// zero (e.g. ReadPct = 0 for a write-only mix) is honored rather than
+// confused with "use the default".
+type WorkloadParams struct {
+	// YCSB knobs (§3.3).
+	Rows      int     `json:"rows,omitempty"`
+	Fields    int     `json:"fields,omitempty"`
+	FieldSize int     `json:"field_size,omitempty"`
+	ReqPerTxn int     `json:"req_per_txn,omitempty"`
+	ReadPct   float64 `json:"read_pct,omitempty"`
+	Theta     float64 `json:"theta,omitempty"`
+	Ordered   bool    `json:"ordered,omitempty"`
+
+	// Partitioning knobs (H-STORE experiments, §5.5).
+	Partitioned bool    `json:"partitioned,omitempty"`
+	MPFraction  float64 `json:"mp_fraction,omitempty"`
+	MPParts     int     `json:"mp_parts,omitempty"`
+
+	// TPC-C knobs (§5.6).
+	Warehouses       int     `json:"warehouses,omitempty"`
+	PaymentPct       float64 `json:"payment_pct,omitempty"`
+	RemotePaymentPct float64 `json:"remote_payment_pct,omitempty"`
+	RemoteItemPct    float64 `json:"remote_item_pct,omitempty"`
+	UserAbortPct     float64 `json:"user_abort_pct,omitempty"`
+	InsertsPerWorker int     `json:"inserts_per_worker,omitempty"`
+
+	// SmallBank knobs (abyss1000/workloads/smallbank).
+	Accounts    int     `json:"accounts,omitempty"`
+	HotAccounts int     `json:"hot_accounts,omitempty"`
+	HotPct      float64 `json:"hot_pct,omitempty"`
+}
+
+// WorkloadInfo is one workload registry entry.
+type WorkloadInfo struct {
+	// Name is the registry key ("ycsb", "tpcc", ...).
+	Name string
+
+	// Desc is a one-line description for listings.
+	Desc string
+
+	// Extension marks workloads beyond the paper's two benchmarks.
+	Extension bool
+
+	// Defaults returns the workload's default parameters.
+	Defaults func() WorkloadParams
+
+	// Build validates p, creates and populates the workload's tables and
+	// indexes on db, and returns the ready Workload.
+	Build func(db *DB, p WorkloadParams) (Workload, error)
+}
+
+// workloadRegistry holds entries in registration order (built-ins first).
+var workloadRegistry []WorkloadInfo
+
+func init() {
+	MustRegisterWorkload(WorkloadInfo{
+		Name:     "ycsb",
+		Desc:     "YCSB: point accesses over one table, Zipfian skew (§3.3)",
+		Defaults: ycsbDefaults,
+		Build:    buildYCSB,
+	})
+	MustRegisterWorkload(WorkloadInfo{
+		Name:     "tpcc",
+		Desc:     "TPC-C: Payment + NewOrder on the warehouse schema (§3.3)",
+		Defaults: tpccDefaults,
+		Build:    buildTPCC,
+	})
+}
+
+// RegisterWorkload adds a workload to the registry. It errors on an empty
+// name, missing hooks, or a duplicate registration.
+func RegisterWorkload(info WorkloadInfo) error {
+	if info.Name == "" {
+		return fmt.Errorf("abyss: workload registration needs a name")
+	}
+	if info.Build == nil || info.Defaults == nil {
+		return fmt.Errorf("abyss: workload %q registration needs Defaults and Build", info.Name)
+	}
+	for _, e := range workloadRegistry {
+		if e.Name == info.Name {
+			return fmt.Errorf("abyss: workload %q already registered", info.Name)
+		}
+	}
+	workloadRegistry = append(workloadRegistry, info)
+	return nil
+}
+
+// MustRegisterWorkload is RegisterWorkload, panicking on error (for init
+// functions).
+func MustRegisterWorkload(info WorkloadInfo) {
+	if err := RegisterWorkload(info); err != nil {
+		panic(err)
+	}
+}
+
+// Workloads returns every registered workload name in registry order.
+func Workloads() []string {
+	names := make([]string, len(workloadRegistry))
+	for i, e := range workloadRegistry {
+		names[i] = e.Name
+	}
+	return names
+}
+
+// WorkloadInfos returns a copy of the registry in order.
+func WorkloadInfos() []WorkloadInfo {
+	return append([]WorkloadInfo(nil), workloadRegistry...)
+}
+
+// lookupWorkload finds a registry entry by name.
+func lookupWorkload(name string) (WorkloadInfo, error) {
+	for _, e := range workloadRegistry {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return WorkloadInfo{}, fmt.Errorf("abyss: unknown workload %q (valid: %s)", name, joinNames(Workloads()))
+}
+
+// DefaultWorkloadParams returns the named workload's default parameters —
+// the starting point every caller should mutate rather than building a
+// WorkloadParams from scratch.
+func DefaultWorkloadParams(name string) (WorkloadParams, error) {
+	e, err := lookupWorkload(name)
+	if err != nil {
+		return WorkloadParams{}, err
+	}
+	return e.Defaults(), nil
+}
+
+// BuildWorkload validates p, creates and populates the named workload's
+// tables and indexes on db, and returns the Workload ready for Run.
+// Unknown names return an error listing the valid set.
+func (db *DB) BuildWorkload(name string, p WorkloadParams) (wl Workload, err error) {
+	e, err := lookupWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	// Internal builders report misconfiguration by panicking; surface
+	// those as errors at the public boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("abyss: building workload %q failed: %v", name, r)
+		}
+	}()
+	return e.Build(db, p)
+}
+
+// pctField validates a probability-like field.
+func pctField(name string, v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("abyss: %s must be in [0, 1], got %g", name, v)
+	}
+	return nil
+}
+
+func ycsbDefaults() WorkloadParams {
+	c := ycsb.DefaultConfig()
+	return WorkloadParams{
+		Rows:      c.Rows,
+		Fields:    c.Fields,
+		FieldSize: c.FieldSize,
+		ReqPerTxn: c.ReqPerTxn,
+		ReadPct:   c.ReadPct,
+		Theta:     c.Theta,
+		MPParts:   2,
+	}
+}
+
+func buildYCSB(db *DB, p WorkloadParams) (Workload, error) {
+	if p.Rows <= 0 {
+		return nil, fmt.Errorf("abyss: ycsb Rows must be positive, got %d", p.Rows)
+	}
+	if p.ReqPerTxn <= 0 || p.ReqPerTxn > p.Rows {
+		return nil, fmt.Errorf("abyss: ycsb ReqPerTxn must be in [1, Rows=%d], got %d", p.Rows, p.ReqPerTxn)
+	}
+	if p.Fields <= 0 || p.FieldSize <= 0 {
+		return nil, fmt.Errorf("abyss: ycsb Fields and FieldSize must be positive, got %d x %d", p.Fields, p.FieldSize)
+	}
+	if err := pctField("ycsb ReadPct", p.ReadPct); err != nil {
+		return nil, err
+	}
+	if p.Theta < 0 || p.Theta >= 1 {
+		return nil, fmt.Errorf("abyss: ycsb Theta must be in [0, 1), got %g", p.Theta)
+	}
+	if err := pctField("ycsb MPFraction", p.MPFraction); err != nil {
+		return nil, err
+	}
+	if p.Partitioned && p.MPFraction > 0 && p.MPParts < 2 {
+		return nil, fmt.Errorf("abyss: ycsb MPParts must be >= 2 for multi-partition transactions, got %d", p.MPParts)
+	}
+	return ycsb.Build(db.inner, ycsb.Config{
+		Rows:        p.Rows,
+		Fields:      p.Fields,
+		FieldSize:   p.FieldSize,
+		ReqPerTxn:   p.ReqPerTxn,
+		ReadPct:     p.ReadPct,
+		Theta:       p.Theta,
+		Ordered:     p.Ordered,
+		Partitioned: p.Partitioned,
+		MPFraction:  p.MPFraction,
+		MPParts:     p.MPParts,
+	}), nil
+}
+
+func tpccDefaults() WorkloadParams {
+	c := tpcc.DefaultConfig(4)
+	return WorkloadParams{
+		Warehouses:       c.Warehouses,
+		PaymentPct:       c.PaymentPct,
+		RemotePaymentPct: c.RemotePaymentPct,
+		RemoteItemPct:    c.RemoteItemPct,
+		UserAbortPct:     c.UserAbortPct,
+		InsertsPerWorker: c.InsertsPerWorker,
+	}
+}
+
+func buildTPCC(db *DB, p WorkloadParams) (Workload, error) {
+	if p.Warehouses <= 0 {
+		return nil, fmt.Errorf("abyss: tpcc Warehouses must be positive, got %d", p.Warehouses)
+	}
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"tpcc PaymentPct", p.PaymentPct},
+		{"tpcc RemotePaymentPct", p.RemotePaymentPct},
+		{"tpcc RemoteItemPct", p.RemoteItemPct},
+		{"tpcc UserAbortPct", p.UserAbortPct},
+	} {
+		if err := pctField(f.name, f.v); err != nil {
+			return nil, err
+		}
+	}
+	if p.InsertsPerWorker <= 0 {
+		return nil, fmt.Errorf("abyss: tpcc InsertsPerWorker must be positive, got %d", p.InsertsPerWorker)
+	}
+	cfg := tpcc.DefaultConfig(p.Warehouses)
+	cfg.PaymentPct = p.PaymentPct
+	cfg.RemotePaymentPct = p.RemotePaymentPct
+	cfg.RemoteItemPct = p.RemoteItemPct
+	cfg.UserAbortPct = p.UserAbortPct
+	cfg.InsertsPerWorker = p.InsertsPerWorker
+	return tpcc.Build(db.inner, cfg), nil
+}

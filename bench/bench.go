@@ -1,5 +1,10 @@
 // Package bench defines one experiment per table/figure of the paper's
-// evaluation (§4-§5) and renders the same series the paper plots. Each
+// evaluation (§4-§5) and renders the same series the paper plots. It is
+// the engine's evaluation harness: scheme construction goes through the
+// public abyss registry (MakeScheme), but the job layer drives engine
+// internals the public API deliberately does not expose (the ablation
+// allocators, timeout-variant 2PL), which is why it lives alongside the
+// engine rather than behind the abyss facade. Each
 // figure function returns a Figure whose Format() prints aligned columns:
 // x-values down the side, one column per series, plus the time-breakdown
 // tables for the figures that include them.
@@ -24,11 +29,7 @@ import (
 	"fmt"
 	"strings"
 
-	"abyss1000/internal/cc/hstore"
-	"abyss1000/internal/cc/mvcc"
-	"abyss1000/internal/cc/occ"
-	"abyss1000/internal/cc/to"
-	"abyss1000/internal/cc/twopl"
+	"abyss1000/abyss"
 	"abyss1000/internal/core"
 	"abyss1000/internal/stats"
 	"abyss1000/internal/tsalloc"
@@ -125,37 +126,37 @@ func (p Params) coreConfig() core.Config {
 }
 
 // SchemeNames lists the six tuple-level schemes in the paper's plotting
-// order; H-STORE joins in §5.5/§5.6.
-var SchemeNames = []string{"DL_DETECT", "NO_WAIT", "WAIT_DIE", "TIMESTAMP", "MVCC", "OCC"}
+// order; H-STORE joins in §5.5/§5.6. Both slices derive from the abyss
+// scheme registry (whose paper order is the same Table 1 order), so the
+// harness cannot drift from the public registry.
+var SchemeNames = tupleLevel(abyss.PaperSchemes())
 
 // AllSchemeNames includes H-STORE.
-var AllSchemeNames = append(append([]string{}, SchemeNames...), "HSTORE")
+var AllSchemeNames = abyss.PaperSchemes()
 
-// MakeScheme builds a scheme by paper name. T/O schemes draw timestamps
-// with method m (the paper's default is non-batched atomic addition).
-func MakeScheme(name string, m tsalloc.Method) core.Scheme {
-	switch name {
-	case "DL_DETECT":
-		return twopl.New(twopl.DLDetect, twopl.Options{})
-	case "NO_WAIT":
-		return twopl.New(twopl.NoWait, twopl.Options{})
-	case "WAIT_DIE":
-		return twopl.New(twopl.WaitDie, twopl.Options{TsMethod: m})
-	case "TIMESTAMP":
-		return to.New(m)
-	case "MVCC":
-		return mvcc.New(m)
-	case "OCC":
-		return occ.New(m)
-	case "HSTORE":
-		return hstore.New(m)
-	case "ADAPTIVE":
-		return twopl.NewAdaptive(twopl.Options{})
-	case "OCC_CENTRAL":
-		return occ.NewCentral(m)
-	default:
-		panic("bench: unknown scheme " + name)
+// tupleLevel filters out the partition-level scheme.
+func tupleLevel(names []string) []string {
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		if n != "HSTORE" {
+			out = append(out, n)
+		}
 	}
+	return out
+}
+
+// MakeScheme builds a scheme by paper name through the public abyss
+// registry — the single source of scheme wiring. T/O schemes draw
+// timestamps with method m (the paper's default is non-batched atomic
+// addition). Unknown names panic: inside the harness they are enumeration
+// bugs, not user input (cmd/abyss-sim validates names before reaching
+// here).
+func MakeScheme(name string, m tsalloc.Method) core.Scheme {
+	s, err := abyss.NewScheme(name, abyss.WithTSMethod(m))
+	if err != nil {
+		panic("bench: " + err.Error())
+	}
+	return s
 }
 
 // Point is one measured (x, y) pair with the full result attached. Its

@@ -3,7 +3,7 @@ package abyss1000_test
 import (
 	"testing"
 
-	"abyss1000/internal/bench"
+	"abyss1000/bench"
 )
 
 // benchParams shrinks the experiments so `go test -bench=.` finishes in a

@@ -36,7 +36,7 @@ import (
 	"strings"
 	"time"
 
-	"abyss1000/internal/bench"
+	"abyss1000/bench"
 )
 
 func main() {

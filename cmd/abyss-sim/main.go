@@ -1,12 +1,16 @@
 // Command abyss-sim runs a single workload configuration on the many-core
 // simulator (or natively) and prints throughput, abort rate and the
-// six-component time breakdown.
+// six-component time breakdown. It is a thin shell over the public abyss
+// package: schemes, workloads and timestamp methods all resolve through
+// the abyss registries, so -list (or any unknown name) shows exactly what
+// an embedder would get from abyss.Schemes() / abyss.Workloads().
 //
 // Examples:
 //
 //	abyss-sim -scheme NO_WAIT -cores 64 -theta 0.8
 //	abyss-sim -scheme MVCC -cores 256 -readpct 0.9
 //	abyss-sim -workload tpcc -scheme HSTORE -cores 64 -warehouses 64
+//	abyss-sim -workload smallbank -scheme OCC -cores 64 -hotpct 0.95
 //	abyss-sim -scheme DL_DETECT -runtime native -cores 8
 package main
 
@@ -14,91 +18,159 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"abyss1000/internal/bench"
-	"abyss1000/internal/core"
-	"abyss1000/internal/native"
-	"abyss1000/internal/rt"
-	"abyss1000/internal/sim"
-	"abyss1000/internal/tsalloc"
-	"abyss1000/internal/workload/tpcc"
-	"abyss1000/internal/workload/ycsb"
+	"abyss1000/abyss"
+
+	// Register the SmallBank extension workload.
+	_ "abyss1000/workloads/smallbank"
 )
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "NO_WAIT", "DL_DETECT|NO_WAIT|WAIT_DIE|TIMESTAMP|MVCC|OCC|HSTORE")
-		workload   = flag.String("workload", "ycsb", "ycsb|tpcc")
+		schemeName = flag.String("scheme", "NO_WAIT", "concurrency-control scheme (see -list)")
+		workload   = flag.String("workload", "ycsb", "workload (see -list)")
 		runtimeSel = flag.String("runtime", "sim", "sim|native")
 		cores      = flag.Int("cores", 64, "logical cores / worker threads")
 		seed       = flag.Int64("seed", 42, "determinism seed")
-		tsMethod   = flag.String("ts", "atomic", "mutex|atomic|batch8|batch16|clock|hw")
+		tsMethod   = flag.String("ts", "atomic", "timestamp allocation method (see -list)")
+		list       = flag.Bool("list", false, "list registered schemes, workloads and timestamp methods")
 
 		// YCSB knobs.
-		rows    = flag.Int("rows", 65536, "YCSB table size")
-		theta   = flag.Float64("theta", 0.6, "YCSB zipf skew")
-		readPct = flag.Float64("readpct", 0.5, "fraction of reads")
-		reqs    = flag.Int("reqs", 16, "accesses per transaction")
+		rows    = flag.Int("rows", 0, "YCSB table size")
+		theta   = flag.Float64("theta", -1, "YCSB zipf skew, in [0, 1)")
+		readPct = flag.Float64("readpct", -1, "fraction of reads, in [0, 1]")
+		reqs    = flag.Int("reqs", 0, "accesses per transaction")
 		part    = flag.Bool("partitioned", false, "partitioned YCSB (needed for HSTORE)")
-		mpFrac  = flag.Float64("mp", 0.0, "multi-partition txn fraction")
+		mpFrac  = flag.Float64("mp", -1, "multi-partition txn fraction, in [0, 1]")
 
 		// TPC-C knobs.
-		warehouses = flag.Int("warehouses", 4, "TPC-C warehouses")
-		payPct     = flag.Float64("paypct", 0.5, "fraction of Payment txns")
+		warehouses = flag.Int("warehouses", 0, "TPC-C warehouses")
+		payPct     = flag.Float64("paypct", -1, "fraction of Payment txns, in [0, 1]")
+
+		// SmallBank knobs.
+		accounts = flag.Int("accounts", 0, "SmallBank customer count")
+		hot      = flag.Int("hot", 0, "SmallBank hotspot size (customers)")
+		hotPct   = flag.Float64("hotpct", -1, "fraction of accesses hitting the hotspot, in [0, 1]")
 
 		warmup  = flag.Uint64("warmup", 300_000, "warmup cycles (ns if native)")
 		measure = flag.Uint64("measure", 1_500_000, "measurement cycles (ns if native)")
 	)
 	flag.Parse()
 
-	method, err := tsalloc.ParseMethod(*tsMethod)
+	if *list {
+		printLists()
+		return
+	}
+
+	method, err := abyss.ParseTSMethod(*tsMethod)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fail(err)
 	}
 
-	var rtm rt.Runtime
-	switch *runtimeSel {
-	case "sim":
-		rtm = sim.New(*cores, *seed)
-	case "native":
-		rtm = native.New(*cores, *seed)
-		if *measure < 10_000_000 {
-			*warmup, *measure = 5_000_000, 50_000_000 // sensible wall-clock window
+	if *runtimeSel == abyss.RuntimeNative && *measure < 10_000_000 {
+		*warmup, *measure = 5_000_000, 50_000_000 // sensible wall-clock window
+	}
+
+	db, err := abyss.Open(abyss.Options{Runtime: *runtimeSel, Cores: *cores, Seed: *seed})
+	if err != nil {
+		fail(err)
+	}
+
+	params, err := abyss.DefaultWorkloadParams(*workload)
+	if err != nil {
+		fail(err)
+	}
+	// Negative/zero flag sentinels mean "keep the workload default";
+	// explicit values are range-checked here so a typo'd flag fails fast
+	// with the limits in the message rather than as garbage output.
+	if err := applyPct(&params.ReadPct, *readPct, "-readpct"); err != nil {
+		fail(err)
+	}
+	if *theta >= 0 {
+		if *theta >= 1 {
+			fail(fmt.Errorf("abyss-sim: -theta must be in [0, 1), got %g", *theta))
 		}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown runtime %q\n", *runtimeSel)
-		os.Exit(2)
+		params.Theta = *theta
+	}
+	if err := applyPct(&params.MPFraction, *mpFrac, "-mp"); err != nil {
+		fail(err)
+	}
+	if err := applyPct(&params.PaymentPct, *payPct, "-paypct"); err != nil {
+		fail(err)
+	}
+	if err := applyPct(&params.HotPct, *hotPct, "-hotpct"); err != nil {
+		fail(err)
+	}
+	if *rows > 0 {
+		params.Rows = *rows
+	}
+	if *reqs > 0 {
+		params.ReqPerTxn = *reqs
+	}
+	if *warehouses > 0 {
+		params.Warehouses = *warehouses
+	}
+	if *accounts > 0 {
+		params.Accounts = *accounts
+	}
+	if *hot > 0 {
+		params.HotAccounts = *hot
+	}
+	params.Partitioned = *part || *schemeName == "HSTORE"
+	if params.MPParts < 2 {
+		params.MPParts = 2
+	}
+	if *workload == "tpcc" {
+		params.InsertsPerWorker = int(*measure/1000) + 1024
 	}
 
-	db := core.NewDB(rtm)
-	var wl core.Workload
-	switch *workload {
-	case "ycsb":
-		cfg := ycsb.DefaultConfig()
-		cfg.Rows = *rows
-		cfg.Theta = *theta
-		cfg.ReadPct = *readPct
-		cfg.ReqPerTxn = *reqs
-		cfg.Partitioned = *part || *schemeName == "HSTORE"
-		cfg.MPFraction = *mpFrac
-		cfg.MPParts = 2
-		wl = ycsb.Build(db, cfg)
-	case "tpcc":
-		cfg := tpcc.DefaultConfig(*warehouses)
-		cfg.PaymentPct = *payPct
-		cfg.InsertsPerWorker = int(*measure/1000) + 1024
-		wl = tpcc.Build(db, cfg)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
-		os.Exit(2)
+	wl, err := db.BuildWorkload(*workload, params)
+	if err != nil {
+		fail(err)
 	}
-
-	scheme := bench.MakeScheme(*schemeName, method)
-	res := core.Run(db, scheme, wl, core.Config{
+	scheme, err := abyss.NewScheme(*schemeName, abyss.WithTSMethod(method))
+	if err != nil {
+		fail(err)
+	}
+	res, err := db.Run(scheme, wl, abyss.RunConfig{
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		AbortBackoff:  1000,
 	})
+	if err != nil {
+		fail(err)
+	}
 	fmt.Println(res.String())
+}
+
+// applyPct overrides *dst with v when the flag was given (v >= 0),
+// rejecting values outside [0, 1].
+func applyPct(dst *float64, v float64, flagName string) error {
+	if v < 0 {
+		return nil
+	}
+	if v > 1 {
+		return fmt.Errorf("abyss-sim: %s must be in [0, 1], got %g", flagName, v)
+	}
+	*dst = v
+	return nil
+}
+
+func printLists() {
+	fmt.Println("schemes:")
+	for _, info := range abyss.SchemeInfos() {
+		fmt.Printf("  -scheme %-12s %s\n", info.Name, info.Desc)
+	}
+	fmt.Println("workloads:")
+	for _, info := range abyss.WorkloadInfos() {
+		fmt.Printf("  -workload %-10s %s\n", info.Name, info.Desc)
+	}
+	fmt.Printf("timestamp methods:\n  -ts %s\n", strings.Join(abyss.TSMethodNames(), "|"))
+	fmt.Printf("runtimes:\n  -runtime %s\n", strings.Join(abyss.Runtimes(), "|"))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
 }

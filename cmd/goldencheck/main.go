@@ -11,7 +11,7 @@ package main
 import (
 	"fmt"
 
-	"abyss1000/internal/bench"
+	"abyss1000/bench"
 )
 
 func main() {

@@ -4,7 +4,7 @@ import (
 	"os"
 	"testing"
 
-	"abyss1000/internal/bench"
+	"abyss1000/bench"
 )
 
 // TestSimDeterminismGolden is the engine's end-to-end determinism

@@ -10,7 +10,16 @@
 // six timestamp-allocation strategies (internal/tsalloc), both
 // benchmarks (internal/workload/{ycsb,tpcc}), serializability checkers
 // (internal/history), and a harness regenerating every table and figure
-// of the paper's evaluation (internal/bench, cmd/abyss-bench).
+// of the paper's evaluation (bench, cmd/abyss-bench).
+//
+// The public embedding API is the abyss package: abyss.Open returns a
+// DB, schemes and workloads resolve by name through registries
+// (abyss.NewScheme, DB.BuildWorkload), custom workloads build on
+// DB.CreateTable/CreateIndex/NewMix, and DB.Run validates configuration
+// at the boundary. cmd/, examples/ and workloads/ consume only that
+// API — enforced by importpurity_test.go — and workloads/smallbank (a
+// SmallBank benchmark beyond the paper's two) is the reference external
+// client.
 //
 // The evaluation harness is two-phase: figures enumerate one
 // self-describing job per data point and a worker pool executes the flat

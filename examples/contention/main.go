@@ -2,22 +2,31 @@
 // tuple-level schemes run the same write-intensive YCSB workload while
 // the Zipfian skew climbs from uniform to hotspot-heavy, showing how each
 // scheme's throughput collapses differently (2PL thrashes or aborts, T/O
-// rides timestamps until the hot tuples saturate).
+// rides timestamps until the hot tuples saturate). The scheme list comes
+// from the public registry, so a newly registered scheme joins the table
+// automatically.
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"abyss1000/internal/bench"
-	"abyss1000/internal/core"
-	"abyss1000/internal/sim"
-	"abyss1000/internal/tsalloc"
-	"abyss1000/internal/workload/ycsb"
+	"abyss1000/abyss"
 )
 
 func main() {
 	const cores = 32
 	thetas := []float64{0, 0.4, 0.6, 0.8}
+
+	// The paper's six tuple-level schemes: every registered paper scheme
+	// except the partition-level H-STORE, which needs a partitioned
+	// workload.
+	var schemes []string
+	for _, name := range abyss.PaperSchemes() {
+		if name != "HSTORE" {
+			schemes = append(schemes, name)
+		}
+	}
 
 	fmt.Printf("write-intensive YCSB on %d simulated cores\n\n", cores)
 	fmt.Printf("%-11s", "scheme")
@@ -26,20 +35,35 @@ func main() {
 	}
 	fmt.Println("   (M txn/s; higher is better)")
 
-	for _, name := range bench.SchemeNames {
+	for _, name := range schemes {
 		fmt.Printf("%-11s", name)
 		for _, th := range thetas {
-			engine := sim.New(cores, 7)
-			db := core.NewDB(engine)
-			cfg := ycsb.DefaultConfig()
-			cfg.Rows = 16384
-			cfg.Theta = th
-			wl := ycsb.Build(db, cfg)
-			res := core.Run(db, bench.MakeScheme(name, tsalloc.Atomic), wl, core.Config{
+			db, err := abyss.Open(abyss.Options{Cores: cores, Seed: 7})
+			if err != nil {
+				log.Fatal(err)
+			}
+			params, err := abyss.DefaultWorkloadParams("ycsb")
+			if err != nil {
+				log.Fatal(err)
+			}
+			params.Rows = 16384
+			params.Theta = th
+			wl, err := db.BuildWorkload("ycsb", params)
+			if err != nil {
+				log.Fatal(err)
+			}
+			scheme, err := abyss.NewScheme(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := db.Run(scheme, wl, abyss.RunConfig{
 				WarmupCycles:  200_000,
 				MeasureCycles: 800_000,
 				AbortBackoff:  1000,
 			})
+			if err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("  %9.3f  ", res.Throughput()/1e6)
 		}
 		fmt.Println()

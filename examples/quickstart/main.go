@@ -1,40 +1,53 @@
 // Quickstart: simulate a 64-core chip, build a YCSB database, and run the
 // NO_WAIT scheme — the paper's most scalable 2PL variant — printing
-// throughput and the six-component time breakdown.
+// throughput and the six-component time breakdown. Everything goes
+// through the public abyss package: open a DB, build a workload and a
+// scheme by name, run.
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"abyss1000/internal/cc/twopl"
-	"abyss1000/internal/core"
-	"abyss1000/internal/sim"
-	"abyss1000/internal/workload/ycsb"
+	"abyss1000/abyss"
 )
 
 func main() {
-	// A 64-core tiled chip (one worker thread per core), seeded for a
-	// bit-reproducible run.
-	engine := sim.New(64, 42)
-
-	// A main-memory DBMS instance on that chip.
-	db := core.NewDB(engine)
+	// A 64-core simulated tiled chip (one worker thread per core),
+	// seeded for a bit-reproducible run.
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 64, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// The YCSB table: 64k rows of 10 x 100-byte fields, hash-indexed;
 	// write-intensive transactions of 16 accesses at medium skew.
-	cfg := ycsb.DefaultConfig()
-	cfg.Theta = 0.6
-	workload := ycsb.Build(db, cfg)
+	params, err := abyss.DefaultWorkloadParams("ycsb")
+	if err != nil {
+		log.Fatal(err)
+	}
+	params.Theta = 0.6
+	workload, err := db.BuildWorkload("ycsb", params)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Plug in a concurrency control scheme (any of the paper's seven).
-	scheme := twopl.New(twopl.NoWait, twopl.Options{})
+	// Plug in a concurrency control scheme by name (any of
+	// abyss.Schemes()).
+	scheme, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Simulate: 0.3 ms warmup, 1.5 ms measured, at the 1 GHz target.
-	result := core.Run(db, scheme, workload, core.Config{
+	result, err := db.Run(scheme, workload, abyss.RunConfig{
 		WarmupCycles:  300_000,
 		MeasureCycles: 1_500_000,
 		AbortBackoff:  1000,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println(result.String())
 	fmt.Printf("committed %d txns (%.2f M txn/s), aborted %d attempts\n",

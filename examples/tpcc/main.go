@@ -7,27 +7,40 @@ package main
 
 import (
 	"fmt"
+	"log"
 
-	"abyss1000/internal/bench"
-	"abyss1000/internal/core"
-	"abyss1000/internal/sim"
-	"abyss1000/internal/tsalloc"
-	"abyss1000/internal/workload/tpcc"
+	"abyss1000/abyss"
 )
 
 func run(cores, warehouses int) {
 	fmt.Printf("\n-- %d cores, %d warehouses --\n", cores, warehouses)
-	for _, name := range bench.AllSchemeNames {
-		engine := sim.New(cores, 11)
-		db := core.NewDB(engine)
-		cfg := tpcc.DefaultConfig(warehouses)
-		cfg.InsertsPerWorker = 2048
-		wl := tpcc.Build(db, cfg)
-		res := core.Run(db, bench.MakeScheme(name, tsalloc.Atomic), wl, core.Config{
+	for _, name := range abyss.PaperSchemes() {
+		db, err := abyss.Open(abyss.Options{Cores: cores, Seed: 11})
+		if err != nil {
+			log.Fatal(err)
+		}
+		params, err := abyss.DefaultWorkloadParams("tpcc")
+		if err != nil {
+			log.Fatal(err)
+		}
+		params.Warehouses = warehouses
+		params.InsertsPerWorker = 2048
+		wl, err := db.BuildWorkload("tpcc", params)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scheme, err := abyss.NewScheme(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := db.Run(scheme, wl, abyss.RunConfig{
 			WarmupCycles:  200_000,
 			MeasureCycles: 800_000,
 			AbortBackoff:  1000,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-11s %8.3f M txn/s   abort %5.1f%%\n",
 			name, res.Throughput()/1e6, res.AbortFraction()*100)
 	}

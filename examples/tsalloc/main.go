@@ -2,15 +2,16 @@
 // miniature. Every core allocates timestamps back-to-back; the table
 // shows why the paper argues for hardware support: the software methods
 // either plateau on coherence traffic (atomic), serialize (mutex), or
-// need synchronized clocks the hardware must provide (clock).
+// need synchronized clocks the hardware must provide (clock). The raw
+// worker substrate (DB.Go) and allocator factory come from the public
+// abyss package.
 package main
 
 import (
 	"fmt"
+	"log"
 
-	"abyss1000/internal/rt"
-	"abyss1000/internal/sim"
-	"abyss1000/internal/tsalloc"
+	"abyss1000/abyss"
 )
 
 func main() {
@@ -23,23 +24,29 @@ func main() {
 	}
 	fmt.Println("   (M timestamps/s by core count)")
 
-	for _, m := range tsalloc.Methods {
+	for _, m := range abyss.TSMethods() {
 		fmt.Printf("%-16s", m.String())
 		for _, cores := range coreCounts {
-			engine := sim.New(cores, 1)
-			alloc := tsalloc.New(m, engine)
+			db, err := abyss.Open(abyss.Options{Cores: cores, Seed: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			alloc := db.NewTimestampAllocator(m)
 			counts := make([]uint64, cores)
-			engine.Run(func(p rt.Proc) {
+			err = db.Go(func(p abyss.Proc) {
 				for p.Now() < window {
 					alloc.Next(p)
 					counts[p.ID()]++
 				}
 			})
+			if err != nil {
+				log.Fatal(err)
+			}
 			var total uint64
 			for _, n := range counts {
 				total += n
 			}
-			rate := float64(total) / (float64(window) / engine.Frequency()) / 1e6
+			rate := float64(total) / (float64(window) / db.Frequency()) / 1e6
 			fmt.Printf(" %10.1f", rate)
 		}
 		fmt.Println()

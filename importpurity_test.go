@@ -1,0 +1,50 @@
+package abyss1000_test
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestPublicSurfaceImportPurity enforces the embedding contract: the
+// commands, the examples and the public workloads are clients of the
+// public abyss (and bench) packages only. If one of them imports
+// abyss1000/internal/..., the public API has a hole — fix the API, not
+// the import list. (The bench harness itself lives outside this rule: it
+// is part of the engine distribution and drives engine internals the
+// public API deliberately does not expose, such as ablation allocators.)
+func TestPublicSurfaceImportPurity(t *testing.T) {
+	clientDirs := []string{"cmd", "examples", "workloads"}
+	fset := token.NewFileSet()
+	for _, dir := range clientDirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					return err
+				}
+				if strings.HasPrefix(p, "abyss1000/internal/") || p == "abyss1000/internal" {
+					t.Errorf("%s imports %s: cmd/, examples/ and workloads/ must use only the public abyss API", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("walking %s: %v", dir, err)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestConfigValidate pins the window validation: a zero measurement
+// window is the one configuration that can make every per-second rate
+// divide by zero.
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{}).Validate(); err == nil {
+		t.Fatal("zero MeasureCycles should be invalid")
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig should validate, got %v", err)
+	}
+	if err := (Config{MeasureCycles: 1}).Validate(); err != nil {
+		t.Fatalf("minimal window should validate, got %v", err)
+	}
+}
+
+// TestResultRateGuards pins that the derived rates of a zero-value (or
+// hand-built) Result are 0, never NaN or Inf — they are serialized into
+// JSON/CSV reports where NaN is not even representable.
+func TestResultRateGuards(t *testing.T) {
+	for _, r := range []Result{
+		{},                                  // zero window and frequency
+		{Commits: 10, Aborts: 3, Tuples: 7}, // counts without a window
+		{Commits: 10, MeasureCycles: 1000},  // window without a frequency
+		{Commits: 10, Frequency: 1e9},       // frequency without a window
+	} {
+		for name, v := range map[string]float64{
+			"Throughput":   r.Throughput(),
+			"TuplesPerSec": r.TuplesPerSec(),
+			"AbortsPerSec": r.AbortsPerSec(),
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s of %+v = %v, want 0", name, r, v)
+			}
+			if v != 0 {
+				t.Fatalf("%s of %+v = %v, want 0", name, r, v)
+			}
+		}
+		// String() renders through the same accessors; it must be safe
+		// to call on any Result.
+		_ = r.String()
+	}
+
+	r := Result{Commits: 1000, Tuples: 8000, Aborts: 500, MeasureCycles: 1_000_000, Frequency: 1e9}
+	if got := r.Throughput(); got != 1e6 {
+		t.Fatalf("Throughput = %v, want 1e6", got)
+	}
+	if got := r.TuplesPerSec(); got != 8e6 {
+		t.Fatalf("TuplesPerSec = %v, want 8e6", got)
+	}
+	if got := r.AbortsPerSec(); got != 5e5 {
+		t.Fatalf("AbortsPerSec = %v, want 5e5", got)
+	}
+}

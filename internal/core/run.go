@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"abyss1000/internal/rt"
@@ -33,6 +34,16 @@ func DefaultConfig() Config {
 	}
 }
 
+// Validate rejects configurations that cannot produce a meaningful
+// measurement. A zero MeasureCycles window would end the run before any
+// transaction commits and make every per-second rate divide by zero.
+func (c Config) Validate() error {
+	if c.MeasureCycles == 0 {
+		return errors.New("core: Config.MeasureCycles must be positive")
+	}
+	return nil
+}
+
 // Result aggregates one run. The json tags define the stable
 // machine-readable serialization emitted by `abyss-bench -json`/`-csv`
 // and round-tripped by encoding/json; renaming them is a breaking format
@@ -48,15 +59,25 @@ type Result struct {
 	Breakdown     stats.Breakdown `json:"breakdown"`
 }
 
+// perSec converts an event count over the measurement window into a rate.
+// A zero window or frequency (a zero-value or hand-built Result) yields 0
+// rather than NaN/Inf, so rates stay safe to print and serialize.
+func (r Result) perSec(events uint64) float64 {
+	if r.MeasureCycles == 0 || r.Frequency <= 0 {
+		return 0
+	}
+	return float64(events) / (float64(r.MeasureCycles) / r.Frequency)
+}
+
 // Throughput returns committed transactions per second.
 func (r Result) Throughput() float64 {
-	return float64(r.Commits) / (float64(r.MeasureCycles) / r.Frequency)
+	return r.perSec(r.Commits)
 }
 
 // TuplesPerSec returns committed tuple accesses per second (Fig. 12's
 // y-axis: "the number of tuples accessed per second").
 func (r Result) TuplesPerSec() float64 {
-	return float64(r.Tuples) / (float64(r.MeasureCycles) / r.Frequency)
+	return r.perSec(r.Tuples)
 }
 
 // AbortFraction returns aborted attempts / all attempts.
@@ -71,7 +92,7 @@ func (r Result) AbortFraction() float64 {
 // AbortsPerSec returns the abort rate as events per second (Fig. 5's right
 // axis reports an absolute abort rate).
 func (r Result) AbortsPerSec() float64 {
-	return float64(r.Aborts) / (float64(r.MeasureCycles) / r.Frequency)
+	return r.perSec(r.Aborts)
 }
 
 // String summarizes the run on one line.
@@ -86,6 +107,11 @@ func (r Result) String() string {
 // each worker's transaction stream until the simulated (or wall-clock)
 // deadline passes.
 func Run(db *DB, scheme Scheme, wl Workload, cfg Config) Result {
+	if err := cfg.Validate(); err != nil {
+		// Inside the engine an invalid window is a programming error;
+		// the public abyss API validates and returns errors instead.
+		panic(err)
+	}
 	scheme.Setup(db)
 	n := db.RT.NumProcs()
 	workers := make([]*Worker, n)

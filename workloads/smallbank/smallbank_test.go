@@ -1,0 +1,215 @@
+package smallbank_test
+
+// SmallBank conformance: the workload must run under every registered
+// paper scheme on both runtimes, conserve money under its transfer-only
+// mix, and stay deterministic on the simulator. The test file, like the
+// workload, imports only the public abyss package — it doubles as the
+// proof that an external workload needs nothing from internal/.
+
+import (
+	"testing"
+
+	"abyss1000/abyss"
+	"abyss1000/workloads/smallbank"
+)
+
+func smallConfig() smallbank.Config {
+	cfg := smallbank.DefaultConfig()
+	cfg.Accounts = 4096
+	cfg.HotAccounts = 16
+	cfg.HotPct = 0.9
+	return cfg
+}
+
+// runSim builds and runs one SmallBank measurement on a fresh simulated
+// DB.
+func runSim(t *testing.T, scheme string, cores int, cfg smallbank.Config, rc abyss.RunConfig) (abyss.Result, *smallbank.Workload) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: cores, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := smallbank.Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := abyss.NewScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(s, wl, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, wl
+}
+
+func TestSmallBankAllSchemesSim(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 100_000, MeasureCycles: 500_000, AbortBackoff: 500}
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			res, _ := runSim(t, name, 8, smallConfig(), rc)
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing: %+v", name, res)
+			}
+			t.Logf("%s", res.String())
+		})
+	}
+}
+
+func TestSmallBankAllSchemesNative(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 2_000_000, MeasureCycles: 20_000_000, AbortBackoff: 500} // ns
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeNative, Cores: 4, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := smallbank.Build(db, smallConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := abyss.NewScheme(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Run(s, wl, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing natively", name)
+			}
+		})
+	}
+}
+
+func TestSmallBankDeterministicSim(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 50_000, MeasureCycles: 300_000, AbortBackoff: 500}
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			a, _ := runSim(t, name, 4, smallConfig(), rc)
+			b, _ := runSim(t, name, 4, smallConfig(), rc)
+			if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Tuples != b.Tuples {
+				t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// latestCommitted is implemented by schemes whose committed state lives
+// outside the live row (MVCC's version chains).
+type latestCommitted interface {
+	LatestCommitted(t *abyss.Table, slot int) []byte
+}
+
+// committedTotal sums every balance as the scheme committed it.
+func committedTotal(s abyss.Scheme, wl *smallbank.Workload, accounts int) int64 {
+	read := func(t *abyss.Table, slot int) []byte {
+		if lc, ok := s.(latestCommitted); ok {
+			return lc.LatestCommitted(t, slot)
+		}
+		return t.Row(slot)
+	}
+	var total int64
+	for _, t := range []*abyss.Table{wl.Savings(), wl.Checking()} {
+		for slot := 0; slot < accounts; slot++ {
+			total += t.Schema.GetI64(read(t, slot), 1)
+		}
+	}
+	return total
+}
+
+// TestSmallBankConservation runs a transfer-only mix (Amalgamate +
+// SendPayment + Balance — no deposits or checks, so total money is an
+// invariant) under every paper scheme and verifies the committed balances
+// still sum to the initial total. A violation means a scheme produced a
+// non-serializable (or non-atomic) history on the pairwise-transfer
+// contention profile.
+func TestSmallBankConservation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Weights = [6]float64{20, 0, 0, 40, 0, 40}
+	rc := abyss.RunConfig{WarmupCycles: 50_000, MeasureCycles: 400_000, AbortBackoff: 500}
+	want := smallbank.InitialTotal(cfg.Accounts)
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 8, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := smallbank.Build(db, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := abyss.NewScheme(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Run(s, wl, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing", name)
+			}
+			if got := committedTotal(s, wl, cfg.Accounts); got != want {
+				t.Fatalf("%s lost money: committed total %d, want %d (diff %d cents over %d commits)",
+					name, got, want, got-want, res.Commits)
+			}
+		})
+	}
+}
+
+// TestSmallBankRegistry exercises the registered entry point: defaults
+// round-trip, invalid parameters error, and the registry build matches a
+// direct Build.
+func TestSmallBankRegistry(t *testing.T) {
+	found := false
+	for _, name := range abyss.Workloads() {
+		if name == "smallbank" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("smallbank not in workload registry: %v", abyss.Workloads())
+	}
+
+	p, err := abyss.DefaultWorkloadParams("smallbank")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := smallbank.DefaultConfig()
+	if p.Accounts != def.Accounts || p.HotAccounts != def.HotAccounts || p.HotPct != def.HotPct {
+		t.Fatalf("registry defaults %+v do not match smallbank.DefaultConfig() %+v", p, def)
+	}
+
+	db, err := abyss.Open(abyss.Options{Cores: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Accounts = 1 // transactions need two distinct customers
+	if _, err := db.BuildWorkload("smallbank", p); err == nil {
+		t.Fatal("Accounts=1 should be rejected")
+	}
+	p.Accounts = 256
+	p.HotPct = 1.5
+	if _, err := db.BuildWorkload("smallbank", p); err == nil {
+		t.Fatal("HotPct=1.5 should be rejected")
+	}
+	// A drawable set of one customer would make the two-customer
+	// transactions spin forever looking for a distinct counterparty.
+	p.HotPct = 1
+	p.HotAccounts = 1
+	if _, err := db.BuildWorkload("smallbank", p); err == nil {
+		t.Fatal("HotPct=1 with HotAccounts=1 should be rejected")
+	}
+	p.HotPct = 0.5
+	p.HotAccounts = 8
+	wl, err := db.BuildWorkload("smallbank", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl == nil {
+		t.Fatal("registry build returned nil workload")
+	}
+}
