@@ -10,6 +10,7 @@ import (
 	"abyss1000/internal/native"
 	"abyss1000/internal/rt"
 	"abyss1000/internal/sim"
+	"abyss1000/internal/stats"
 	"abyss1000/internal/storage"
 	"abyss1000/internal/tsalloc"
 )
@@ -36,8 +37,37 @@ type (
 	TxnCtx = core.TxnCtx
 
 	// Result aggregates one experiment run (commits, aborts, tuple
-	// accesses, the six-component time breakdown, and derived rates).
+	// accesses, the six-component time breakdown, the commit-latency
+	// Histogram, per-transaction-type TxnStats, and derived rates).
 	Result = core.Result
+
+	// TxnStats is one transaction type's sub-result within a Result:
+	// commits, aborts and the type's own latency histogram.
+	TxnStats = core.TxnStats
+
+	// Histogram is a log2-bucketed latency histogram with
+	// P50/P95/P99/Max accessors and Quantile/Merge; Result.Latency,
+	// TxnStats.Latency and Sample.Latency are Histograms.
+	Histogram = stats.Histogram
+
+	// Sample is one interval's in-flight snapshot of a run: commits,
+	// aborts and latency for that interval, with Throughput and
+	// AbortFraction accessors. Delivered via RunConfig.Observer or the
+	// RunStream channel.
+	Sample = core.Sample
+
+	// Observer receives interval Samples during a run. OnSample is
+	// called from worker threads and must return promptly; RunStream
+	// wraps the channel plumbing for the common case.
+	Observer = core.Observer
+
+	// ObserverFunc adapts a function to the Observer interface.
+	ObserverFunc = core.ObserverFunc
+
+	// TxnTyper is the optional Workload interface that enables
+	// Result.PerTxn attribution. Mix implements it; custom Workload
+	// implementations may too.
+	TxnTyper = core.TxnTyper
 
 	// Proc is one logical core / worker thread: clock, deterministic RNG
 	// and time-breakdown accounting.
@@ -93,6 +123,19 @@ const (
 // core count, and the bound baked into clock-based timestamp allocation
 // (10 bits of worker id).
 const MaxCores = 1024
+
+// NumHistBuckets is the number of log2 buckets in a Histogram: bucket 0
+// holds the value 0, bucket i holds values in [2^(i-1), 2^i).
+const NumHistBuckets = stats.NumHistBuckets
+
+// MaxSampleIntervals bounds MeasureCycles / SampleEvery: the sampler and
+// the RunStream channel preallocate per-interval state, so finer
+// sampling than this is rejected at validation.
+const MaxSampleIntervals = core.MaxSampleIntervals
+
+// HistBucketBounds returns Histogram bucket i's half-open value range
+// [lo, hi), for rendering histogram dumps.
+func HistBucketBounds(i int) (lo, hi uint64) { return stats.HistBucketBounds(i) }
 
 // Runtimes lists the valid Options.Runtime values.
 func Runtimes() []string { return []string{RuntimeSim, RuntimeNative} }
@@ -288,6 +331,22 @@ type RunConfig struct {
 	// AbortBackoff is the mean randomized restart penalty after a
 	// concurrency-control abort, in cycles. Zero disables backoff.
 	AbortBackoff uint64
+
+	// SampleEvery divides the measurement window into intervals of this
+	// many cycles; one Sample per interval is delivered to Observer (or
+	// the RunStream channel) while the run is in flight. Sampling is
+	// accounting-only — the final Result, and on the simulated runtime
+	// every simulated outcome, are byte-identical with and without it.
+	// Zero disables sampling; positive values require a sink (an
+	// Observer for Run, or using RunStream).
+	SampleEvery uint64
+
+	// Observer receives the interval Samples during Run. OnSample runs
+	// on worker threads and must return promptly (under the simulator a
+	// blocked observer blocks the whole simulation); use RunStream for
+	// a buffered channel instead of implementing an Observer. Setting
+	// an Observer requires a positive SampleEvery.
+	Observer Observer
 }
 
 // DefaultRunConfig returns a window sized for quick experiments on this
@@ -301,25 +360,43 @@ func (db *DB) DefaultRunConfig() RunConfig {
 	return RunConfig{WarmupCycles: c.WarmupCycles, MeasureCycles: c.MeasureCycles, AbortBackoff: c.AbortBackoff}
 }
 
-// Run executes wl under scheme for cfg's measurement window and returns
-// the aggregated result. The workload's tables must already be populated
-// (BuildWorkload does this for registered workloads). A DB measures once:
-// clocks and warmup windows are meaningful only from a cold start, so a
-// second Run returns an error — Open a fresh DB instead.
-func (db *DB) Run(scheme Scheme, wl Workload, cfg RunConfig) (res Result, err error) {
+// prepareRun validates one measurement's arguments and claims the DB's
+// single run. On success the caller owns the measurement and must perform
+// it; on error nothing changed.
+func (db *DB) prepareRun(scheme Scheme, wl Workload, cfg RunConfig) error {
 	if scheme == nil {
-		return Result{}, fmt.Errorf("abyss: Run needs a Scheme (see NewScheme)")
+		return fmt.Errorf("abyss: Run needs a Scheme (see NewScheme)")
 	}
 	if wl == nil {
-		return Result{}, fmt.Errorf("abyss: Run needs a Workload (see BuildWorkload)")
+		return fmt.Errorf("abyss: Run needs a Workload (see BuildWorkload)")
 	}
 	if cfg.MeasureCycles == 0 {
-		return Result{}, fmt.Errorf("abyss: RunConfig.MeasureCycles must be positive (a zero window has no throughput)")
+		return fmt.Errorf("abyss: RunConfig.MeasureCycles must be positive (a zero window has no throughput)")
+	}
+	if cfg.Observer != nil && cfg.SampleEvery == 0 {
+		return fmt.Errorf("abyss: RunConfig.Observer is set but SampleEvery is 0; set SampleEvery to the sampling interval in cycles")
+	}
+	if cfg.SampleEvery > 0 && cfg.Observer == nil {
+		return fmt.Errorf("abyss: RunConfig.SampleEvery is set but there is no sample sink; set RunConfig.Observer or use RunStream")
+	}
+	if cfg.SampleEvery > cfg.MeasureCycles {
+		return fmt.Errorf("abyss: RunConfig.SampleEvery (%d) must not exceed MeasureCycles (%d); a window shorter than one interval produces no samples", cfg.SampleEvery, cfg.MeasureCycles)
+	}
+	if cfg.SampleEvery > 0 {
+		if n := (cfg.MeasureCycles + cfg.SampleEvery - 1) / cfg.SampleEvery; n > core.MaxSampleIntervals {
+			return fmt.Errorf("abyss: RunConfig.SampleEvery (%d) yields %d sample intervals over MeasureCycles (%d); at most %d are allowed — use a coarser sampling period", cfg.SampleEvery, n, cfg.MeasureCycles, core.MaxSampleIntervals)
+		}
 	}
 	if db.ran {
-		return Result{}, fmt.Errorf("abyss: this DB already ran an experiment; Open a fresh DB per Run/Go")
+		return fmt.Errorf("abyss: this DB already ran an experiment; Open a fresh DB per Run/Go")
 	}
 	db.ran = true
+	return nil
+}
+
+// runMeasured executes the prepared measurement. Split from Run so that
+// RunStream can validate synchronously and measure on its own goroutine.
+func (db *DB) runMeasured(scheme Scheme, wl Workload, cfg RunConfig) (res Result, err error) {
 	// The engine reports misconfiguration (exhausted insert segments,
 	// missing indexes) by panicking; at the public boundary those become
 	// errors. Panics on worker goroutines still crash — they indicate
@@ -329,12 +406,91 @@ func (db *DB) Run(scheme Scheme, wl Workload, cfg RunConfig) (res Result, err er
 			err = fmt.Errorf("abyss: run failed: %v", r)
 		}
 	}()
-	res = core.Run(db.inner, scheme, wl, core.Config{
+	res = core.RunObserved(db.inner, scheme, wl, core.Config{
 		WarmupCycles:  cfg.WarmupCycles,
 		MeasureCycles: cfg.MeasureCycles,
 		AbortBackoff:  cfg.AbortBackoff,
-	})
+		SampleEvery:   cfg.SampleEvery,
+	}, cfg.Observer)
 	return res, nil
+}
+
+// Run executes wl under scheme for cfg's measurement window and returns
+// the aggregated result: throughput, aborts, the six-component breakdown,
+// the commit-latency histogram, and per-transaction-type sub-results when
+// the workload declares its types (Mix does). With SampleEvery and an
+// Observer set, interval Samples stream to the Observer during the run.
+// The workload's tables must already be populated (BuildWorkload does
+// this for registered workloads). A DB measures once: clocks and warmup
+// windows are meaningful only from a cold start, so a second Run returns
+// an error — Open a fresh DB instead.
+func (db *DB) Run(scheme Scheme, wl Workload, cfg RunConfig) (Result, error) {
+	if err := db.prepareRun(scheme, wl, cfg); err != nil {
+		return Result{}, err
+	}
+	return db.runMeasured(scheme, wl, cfg)
+}
+
+// chanObserver forwards samples into a channel buffered for every
+// interval of the run, so sends never block the measurement.
+type chanObserver chan<- Sample
+
+// OnSample implements Observer.
+func (c chanObserver) OnSample(s Sample) { c <- s }
+
+// RunStream is Run with a streaming surface: it starts the measurement in
+// the background and returns immediately with a channel of in-flight
+// Samples (one per SampleEvery cycles of the measurement window, closed
+// when the run ends) and a wait function that blocks for, and returns,
+// the final Result.
+//
+// The channel is buffered for the whole run, so the measurement never
+// waits on the consumer — ranging over the channel and then calling wait
+// is the intended pattern, but calling wait immediately (or never
+// draining the channel at all) is also safe.
+//
+// cfg.SampleEvery must be positive and cfg.Observer must be nil
+// (RunStream installs its own); errors — including argument validation —
+// are reported by the wait function, with the sample channel closed and
+// empty.
+func (db *DB) RunStream(scheme Scheme, wl Workload, cfg RunConfig) (<-chan Sample, func() (Result, error)) {
+	fail := func(err error) (<-chan Sample, func() (Result, error)) {
+		ch := make(chan Sample)
+		close(ch)
+		return ch, func() (Result, error) { return Result{}, err }
+	}
+	if cfg.Observer != nil {
+		return fail(fmt.Errorf("abyss: RunStream installs its own Observer; RunConfig.Observer must be nil"))
+	}
+	if cfg.SampleEvery == 0 {
+		return fail(fmt.Errorf("abyss: RunStream needs a positive RunConfig.SampleEvery (the sampling interval in cycles)"))
+	}
+	if cfg.MeasureCycles == 0 {
+		return fail(fmt.Errorf("abyss: RunConfig.MeasureCycles must be positive (a zero window has no throughput)"))
+	}
+	intervals := (cfg.MeasureCycles + cfg.SampleEvery - 1) / cfg.SampleEvery
+	if intervals > core.MaxSampleIntervals {
+		return fail(fmt.Errorf("abyss: RunConfig.SampleEvery (%d) yields %d sample intervals over MeasureCycles (%d); at most %d are allowed — use a coarser sampling period", cfg.SampleEvery, intervals, cfg.MeasureCycles, core.MaxSampleIntervals))
+	}
+	ch := make(chan Sample, intervals+1)
+	cfg.Observer = chanObserver(ch)
+	if err := db.prepareRun(scheme, wl, cfg); err != nil {
+		return fail(err)
+	}
+	done := make(chan struct{})
+	var (
+		res    Result
+		runErr error
+	)
+	go func() {
+		defer close(done)
+		defer close(ch)
+		res, runErr = db.runMeasured(scheme, wl, cfg)
+	}()
+	return ch, func() (Result, error) {
+		<-done
+		return res, runErr
+	}
 }
 
 func sortedKeys[V any](m map[string]V) []string {

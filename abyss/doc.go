@@ -31,6 +31,16 @@
 // access path is steady-state allocation-free regardless of which scheme
 // is plugged in.
 //
+// Observability is built into every run. Result carries a commit-latency
+// Histogram (P50/P95/P99/Max) and per-transaction-type TxnStats (names
+// flow from TxnSpec registration; workloads can also implement TxnTyper
+// directly), and a run can be watched in flight: RunStream returns a
+// buffered channel of per-interval Samples plus a wait function for the
+// final Result, or set RunConfig.SampleEvery and an Observer on a plain
+// Run. All of it is accounting-only — a sampled, observed run returns a
+// Result identical to an unobserved one, and on the simulated runtime the
+// entire schedule is unchanged.
+//
 // Every run on the simulated runtime is deterministic in (Options.Seed,
 // configuration): same inputs, byte-identical Result. The native runtime
 // trades determinism for real wall-clock measurements on host cores.

@@ -1,6 +1,9 @@
 package abyss
 
-import "fmt"
+import (
+	"fmt"
+	"reflect"
+)
 
 // Generator is an optional interface for Txn. When a transaction returned
 // by a Mix implements it, Generate is called with the drawing worker's
@@ -34,8 +37,9 @@ type TxnSpec struct {
 // built-in workloads.
 type Mix struct {
 	names []string
-	cum   []float64 // cumulative normalized weights
-	txns  [][]Txn   // [worker][spec]
+	cum   []float64   // cumulative normalized weights
+	txns  [][]Txn     // [worker][spec]
+	kinds map[Txn]int // instance -> spec index, for TxnTypeOf
 }
 
 // NewMix validates specs and instantiates every procedure once per
@@ -64,6 +68,7 @@ func (db *DB) NewMix(specs ...TxnSpec) (*Mix, error) {
 		names: make([]string, len(specs)),
 		cum:   make([]float64, len(specs)),
 		txns:  make([][]Txn, db.Cores()),
+		kinds: make(map[Txn]int, len(specs)*db.Cores()),
 	}
 	acc := 0.0
 	for i, s := range specs {
@@ -80,6 +85,23 @@ func (db *DB) NewMix(specs ...TxnSpec) (*Mix, error) {
 				return nil, fmt.Errorf("abyss: TxnSpec %q constructor returned nil for worker %d", s.Name, w)
 			}
 			m.txns[w][i] = t
+			// Per-type attribution needs to recognise instances at
+			// commit time. Pointer transactions (the documented
+			// reuse-one-object-per-worker pattern) always work; value
+			// types work as long as no two specs produce equal values.
+			// Where identity is unknowable — non-comparable types, or
+			// the same value registered under two specs — attribution
+			// degrades to none rather than rejecting a workload that
+			// ran fine before per-type results existed.
+			if m.kinds != nil {
+				if !reflect.TypeOf(t).Comparable() {
+					m.kinds = nil
+				} else if prev, dup := m.kinds[t]; dup && prev != i {
+					m.kinds = nil
+				} else {
+					m.kinds[t] = i
+				}
+			}
 		}
 	}
 	return m, nil
@@ -88,6 +110,31 @@ func (db *DB) NewMix(specs ...TxnSpec) (*Mix, error) {
 // Procedures returns the registered procedure names in spec order.
 func (m *Mix) Procedures() []string {
 	return append([]string(nil), m.names...)
+}
+
+// TxnTypes implements TxnTyper: the spec names, in spec order. The
+// returned slice is shared; callers must not mutate it. It returns nil —
+// no per-type attribution, so Result.PerTxn stays empty rather than
+// misleadingly zero — when transaction instances cannot be told apart
+// (non-comparable Txn types, or equal values registered under two
+// specs); the reusable-pointer-per-worker pattern always attributes.
+func (m *Mix) TxnTypes() []string {
+	if m.kinds == nil {
+		return nil
+	}
+	return m.names
+}
+
+// TxnTypeOf implements TxnTyper: the spec index of a transaction
+// instance this Mix created, or -1 for a foreign transaction.
+func (m *Mix) TxnTypeOf(t Txn) int {
+	if m.kinds == nil {
+		return -1
+	}
+	if k, ok := m.kinds[t]; ok {
+		return k
+	}
+	return -1
 }
 
 // Next implements Workload: draw a procedure by weight with p's RNG,
@@ -107,4 +154,7 @@ func (m *Mix) Next(p Proc) Txn {
 	return t
 }
 
-var _ Workload = (*Mix)(nil)
+var (
+	_ Workload = (*Mix)(nil)
+	_ TxnTyper = (*Mix)(nil)
+)

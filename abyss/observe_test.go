@@ -1,0 +1,372 @@
+package abyss_test
+
+// Public-surface observability tests: RunStream's channel semantics and
+// validation errors, Observer wiring through RunConfig, Mix's per-type
+// attribution, and the determinism contract (streaming and plain runs
+// produce deep-equal Results) — all through the abyss facade only.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"abyss1000/abyss"
+)
+
+// openYCSB builds a small simulated YCSB setup on a fresh DB.
+func openYCSB(t *testing.T) (*abyss.DB, abyss.Workload, abyss.Scheme) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 8, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, err := abyss.DefaultWorkloadParams("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params.Rows = 4096
+	wl, err := db.BuildWorkload("ycsb", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, wl, scheme
+}
+
+func ycsbRunConfig() abyss.RunConfig {
+	return abyss.RunConfig{WarmupCycles: 50_000, MeasureCycles: 300_000, AbortBackoff: 1000}
+}
+
+// TestRunStream pins the streaming surface: samples arrive in interval
+// order and cover the whole window, the channel closes, and the final
+// Result is deep-equal to a plain Run of the same configuration on a
+// fresh DB (streaming is accounting-only).
+func TestRunStream(t *testing.T) {
+	cfg := ycsbRunConfig()
+	cfg.SampleEvery = 50_000
+
+	db, wl, scheme := openYCSB(t)
+	samples, wait := db.RunStream(scheme, wl, cfg)
+	var got []abyss.Sample
+	for s := range samples {
+		got = append(got, s)
+	}
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if want := int(cfg.MeasureCycles / cfg.SampleEvery); len(got) != want {
+		t.Fatalf("received %d samples, want %d", len(got), want)
+	}
+	var commits uint64
+	for i, s := range got {
+		if s.Interval != i {
+			t.Fatalf("sample %d has interval %d", i, s.Interval)
+		}
+		commits += s.Commits
+	}
+	if commits != res.Commits {
+		t.Fatalf("samples sum to %d commits, result has %d", commits, res.Commits)
+	}
+	if got[len(got)-1].EndCycle != cfg.MeasureCycles {
+		t.Fatalf("last sample ends at %d, want %d", got[len(got)-1].EndCycle, cfg.MeasureCycles)
+	}
+
+	plainCfg := ycsbRunConfig()
+	db2, wl2, scheme2 := openYCSB(t)
+	plain, err := db2.Run(scheme2, wl2, plainCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, plain) {
+		t.Fatalf("streaming changed the result:\nstream %+v\nplain  %+v", res, plain)
+	}
+}
+
+// TestRunStreamUndrained pins that a consumer who never reads a sample
+// still gets the final result: the channel is buffered for the whole run.
+func TestRunStreamUndrained(t *testing.T) {
+	cfg := ycsbRunConfig()
+	cfg.SampleEvery = 50_000
+	db, wl, scheme := openYCSB(t)
+	_, wait := db.RunStream(scheme, wl, cfg)
+	res, err := wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("no commits from an undrained stream")
+	}
+}
+
+// TestRunStreamErrors pins the validation paths: errors surface through
+// the wait function with a closed, empty sample channel, and do not
+// consume the DB's single measurement.
+func TestRunStreamErrors(t *testing.T) {
+	db, wl, scheme := openYCSB(t)
+
+	cfg := ycsbRunConfig() // SampleEvery missing
+	samples, wait := db.RunStream(scheme, wl, cfg)
+	if _, open := <-samples; open {
+		t.Fatal("error stream delivered a sample")
+	}
+	if _, err := wait(); err == nil || !strings.Contains(err.Error(), "SampleEvery") {
+		t.Fatalf("want SampleEvery error, got %v", err)
+	}
+
+	cfg.SampleEvery = 50_000
+	cfg.Observer = abyss.ObserverFunc(func(abyss.Sample) {})
+	if _, wait := db.RunStream(scheme, wl, cfg); true {
+		if _, err := wait(); err == nil || !strings.Contains(err.Error(), "Observer") {
+			t.Fatalf("want Observer error, got %v", err)
+		}
+	}
+
+	cfg.Observer = nil
+	cfg.SampleEvery = 1 // beyond MaxSampleIntervals: rejected before any allocation
+	if _, wait := db.RunStream(scheme, wl, cfg); true {
+		if _, err := wait(); err == nil || !strings.Contains(err.Error(), "coarser") {
+			t.Fatalf("want interval-cap error, got %v", err)
+		}
+	}
+
+	// The failed attempts above must not have consumed the measurement.
+	cfg.Observer = nil
+	cfg.SampleEvery = 50_000
+	_, wait = db.RunStream(scheme, wl, cfg)
+	if _, err := wait(); err != nil {
+		t.Fatalf("stream after failed validations: %v", err)
+	}
+}
+
+// TestRunObserverValidation pins plain Run's sampling validation: an
+// Observer without SampleEvery, SampleEvery without a sink, an interval
+// longer than the window, and an interval fine enough to exceed the
+// preallocation cap are all rejected with descriptive errors.
+func TestRunObserverValidation(t *testing.T) {
+	db, wl, scheme := openYCSB(t)
+	cfg := ycsbRunConfig()
+	cfg.Observer = abyss.ObserverFunc(func(abyss.Sample) {})
+	if _, err := db.Run(scheme, wl, cfg); err == nil || !strings.Contains(err.Error(), "SampleEvery") {
+		t.Fatalf("want SampleEvery error, got %v", err)
+	}
+	cfg.Observer = nil
+	cfg.SampleEvery = 50_000
+	if _, err := db.Run(scheme, wl, cfg); err == nil || !strings.Contains(err.Error(), "sink") {
+		t.Fatalf("want missing-sink error, got %v", err)
+	}
+	cfg.Observer = abyss.ObserverFunc(func(abyss.Sample) {})
+	cfg.SampleEvery = cfg.MeasureCycles + 1
+	if _, err := db.Run(scheme, wl, cfg); err == nil || !strings.Contains(err.Error(), "MeasureCycles") {
+		t.Fatalf("want SampleEvery-vs-window error, got %v", err)
+	}
+	cfg.SampleEvery = 1 // 300k intervals: beyond the preallocation cap
+	if _, err := db.Run(scheme, wl, cfg); err == nil || !strings.Contains(err.Error(), "coarser") {
+		t.Fatalf("want interval-cap error, got %v", err)
+	}
+
+	// A valid observer configuration works and sees every interval.
+	cfg.SampleEvery = 100_000
+	n := 0
+	cfg.Observer = abyss.ObserverFunc(func(abyss.Sample) { n++ })
+	res, err := db.Run(scheme, wl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int(cfg.MeasureCycles / cfg.SampleEvery); n != want {
+		t.Fatalf("observer saw %d samples, want %d", n, want)
+	}
+	if res.Latency.Count() != res.Commits {
+		t.Fatalf("latency count %d != commits %d", res.Latency.Count(), res.Commits)
+	}
+}
+
+// TestMixPerTxnAttribution pins that a Mix-built workload flows its
+// TxnSpec names into Result.PerTxn with counts summing to the aggregate —
+// the name path from registration to result.
+func TestMixPerTxnAttribution(t *testing.T) {
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := db.CreateTable(abyss.TableSpec{
+		Name:     "T",
+		Cols:     []abyss.Col{{Name: "K", Width: 8}, {Name: "V", Width: 8}},
+		Capacity: 256, Loaded: 256,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex("T_PK", table, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 256; i++ {
+		row := table.LoadRow(i)
+		table.Schema.PutU64(row, 0, uint64(i))
+		idx.LoadInsert(uint64(i), i)
+	}
+
+	mix, err := db.NewMix(
+		abyss.TxnSpec{Name: "reader", Weight: 1, New: func(int) abyss.Txn { return &keyTxn{table: table, idx: idx} }},
+		abyss.TxnSpec{Name: "writer", Weight: 1, New: func(int) abyss.Txn { return &keyTxn{table: table, idx: idx, write: true} }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mix.TxnTypes(); len(got) != 2 || got[0] != "reader" || got[1] != "writer" {
+		t.Fatalf("TxnTypes = %v", got)
+	}
+
+	scheme, err := abyss.NewScheme("DL_DETECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(scheme, mix, abyss.RunConfig{WarmupCycles: 20_000, MeasureCycles: 200_000, AbortBackoff: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerTxn) != 2 || res.PerTxn[0].Name != "reader" || res.PerTxn[1].Name != "writer" {
+		t.Fatalf("PerTxn = %+v", res.PerTxn)
+	}
+	var commits, aborts uint64
+	for i := range res.PerTxn {
+		if res.PerTxn[i].Commits == 0 {
+			t.Errorf("%s committed nothing", res.PerTxn[i].Name)
+		}
+		commits += res.PerTxn[i].Commits
+		aborts += res.PerTxn[i].Aborts
+	}
+	if commits != res.Commits || aborts != res.Aborts {
+		t.Fatalf("per-txn sums (%d, %d) != aggregate (%d, %d)", commits, aborts, res.Commits, res.Aborts)
+	}
+}
+
+// TestMixValueTxnsDegradeGracefully pins that Mix accepts transaction
+// shapes that predate per-type attribution: distinct value-type Txns
+// attribute normally, while indistinguishable instances (the same value
+// under two specs, or non-comparable types) build fine and simply
+// disable attribution — TxnTypes returns nil and Run's Result carries no
+// PerTxn — instead of erroring or panicking.
+func TestMixValueTxnsDegradeGracefully(t *testing.T) {
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two specs sharing one value-type Txn: every instance compares
+	// equal, so identity — and therefore attribution — is unknowable.
+	mix, err := db.NewMix(
+		abyss.TxnSpec{Name: "a", Weight: 1, New: func(int) abyss.Txn { return noopTxn{} }},
+		abyss.TxnSpec{Name: "b", Weight: 1, New: func(int) abyss.Txn { return noopTxn{} }},
+	)
+	if err != nil {
+		t.Fatalf("value-type specs rejected: %v", err)
+	}
+	if got := mix.TxnTypes(); got != nil {
+		t.Fatalf("ambiguous mix should disable attribution, got types %v", got)
+	}
+
+	// Non-comparable Txn types (slice field) must not panic the build.
+	db2, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix2, err := db2.NewMix(
+		abyss.TxnSpec{Name: "a", Weight: 1, New: func(int) abyss.Txn { return sliceTxn{buf: make([]byte, 1)} }},
+	)
+	if err != nil {
+		t.Fatalf("non-comparable spec rejected: %v", err)
+	}
+	if got := mix2.TxnTypes(); got != nil {
+		t.Fatalf("non-comparable mix should disable attribution, got types %v", got)
+	}
+	scheme, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db2.Run(scheme, mix2, abyss.RunConfig{WarmupCycles: 5_000, MeasureCycles: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 || len(res.PerTxn) != 0 {
+		t.Fatalf("degraded mix: commits %d, PerTxn %v", res.Commits, res.PerTxn)
+	}
+
+	// Distinct value types stay attributable: each spec's instances are
+	// equal to each other but distinct across specs.
+	db3, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix3, err := db3.NewMix(
+		abyss.TxnSpec{Name: "noop", Weight: 1, New: func(int) abyss.Txn { return noopTxn{} }},
+		abyss.TxnSpec{Name: "other", Weight: 1, New: func(int) abyss.Txn { return otherTxn{} }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := mix3.TxnTypes(); len(got) != 2 {
+		t.Fatalf("distinct value types should attribute, got %v", got)
+	}
+	scheme3, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res3, err := db3.Run(scheme3, mix3, abyss.RunConfig{WarmupCycles: 5_000, MeasureCycles: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res3.PerTxn) != 2 || res3.PerTxn[0].Commits+res3.PerTxn[1].Commits != res3.Commits {
+		t.Fatalf("value-type attribution broken: %+v (commits %d)", res3.PerTxn, res3.Commits)
+	}
+}
+
+// noopTxn and otherTxn are comparable zero-size transactions; sliceTxn is
+// non-comparable.
+type noopTxn struct{}
+
+func (noopTxn) Run(tx *abyss.TxnCtx) error { return nil }
+func (noopTxn) Partitions() []int          { return nil }
+
+type otherTxn struct{}
+
+func (otherTxn) Run(tx *abyss.TxnCtx) error { return nil }
+func (otherTxn) Partitions() []int          { return nil }
+
+type sliceTxn struct{ buf []byte }
+
+func (sliceTxn) Run(tx *abyss.TxnCtx) error { return nil }
+func (sliceTxn) Partitions() []int          { return nil }
+
+// keyTxn reads (or read-modify-writes) one random row.
+type keyTxn struct {
+	table *abyss.Table
+	idx   *abyss.Index
+	write bool
+	key   uint64
+}
+
+func (t *keyTxn) Generate(p abyss.Proc) { t.key = uint64(p.Rand().Intn(256)) }
+
+func (t *keyTxn) Run(tx *abyss.TxnCtx) error {
+	slot, ok := tx.Lookup(t.idx, t.key)
+	if !ok {
+		panic("key vanished")
+	}
+	if t.write {
+		row, err := tx.UpdateRow(t.table, slot)
+		if err != nil {
+			return err
+		}
+		t.table.Schema.PutU64(row, 1, t.table.Schema.GetU64(row, 1)+1)
+		return nil
+	}
+	_, err := tx.Read(t.table, slot)
+	return err
+}
+
+func (t *keyTxn) Partitions() []int { return nil }

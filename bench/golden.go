@@ -25,8 +25,17 @@ import (
 //     `go run ./cmd/goldencheck > testdata/golden_sim.txt` and say so in
 //     the PR; an unexplained diff is a scheduling regression.
 func GoldenSignature() string {
+	return GoldenSignatureObserved(0, nil)
+}
+
+// GoldenSignatureObserved is GoldenSignature with interval sampling
+// enabled on every run (every > 0 and obs non-nil). Because sampling is
+// accounting-only, the returned signature must be byte-identical to
+// GoldenSignature() — the observer-determinism regression test pins
+// exactly that.
+func GoldenSignatureObserved(every uint64, obs core.Observer) string {
 	var b strings.Builder
-	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000}
+	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000, SampleEvery: every}
 	for _, scheme := range []string{"DL_DETECT", "NO_WAIT", "WAIT_DIE", "TIMESTAMP", "MVCC", "OCC", "HSTORE"} {
 		eng := sim.New(16, 42)
 		db := core.NewDB(eng)
@@ -39,13 +48,13 @@ func GoldenSignature() string {
 			ycfg.MPParts = 2
 		}
 		wl := ycsb.Build(db, ycfg)
-		writeSig(&b, "ycsb/"+scheme, core.Run(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg))
+		writeSig(&b, "ycsb/"+scheme, core.RunObserved(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg, obs))
 	}
 	for _, scheme := range []string{"DL_DETECT", "NO_WAIT", "TIMESTAMP", "MVCC"} {
 		eng := sim.New(8, 7)
 		db := core.NewDB(eng)
 		wl := tpcc.Build(db, tpcc.DefaultConfig(4))
-		writeSig(&b, "tpcc/"+scheme, core.Run(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg))
+		writeSig(&b, "tpcc/"+scheme, core.RunObserved(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg, obs))
 	}
 	return b.String()
 }

@@ -110,6 +110,18 @@ func (j Job) scheme() core.Scheme {
 // whose results depend on real time), and it touches no shared state, so
 // any number of Runs may proceed concurrently.
 func (j Job) Run() core.Result {
+	return j.RunSampled(0, nil)
+}
+
+// RunSampled is Run with interval sampling enabled for the engine-backed
+// job kinds: every `every` cycles of the measurement window one
+// core.Sample is delivered to obs. Sampling is accounting-only, so the
+// returned Result is identical to Run's — the property the CI smoke step
+// pins by comparing sampled and unsampled report JSON. JobTsAlloc drives
+// its own measurement loop and ignores sampling.
+func (j Job) RunSampled(every uint64, obs core.Observer) core.Result {
+	cfg := j.Cfg
+	cfg.SampleEvery = every
 	switch j.Kind {
 	case JobTsAlloc:
 		return j.runTsAlloc()
@@ -117,12 +129,12 @@ func (j Job) Run() core.Result {
 		eng := native.New(j.Cores, j.Seed)
 		db := core.NewDB(eng)
 		wl := ycsb.Build(db, j.YCSB)
-		return core.Run(db, j.scheme(), wl, j.Cfg)
+		return core.RunObserved(db, j.scheme(), wl, cfg, obs)
 	case JobTPCC:
 		eng := sim.New(j.Cores, j.Seed)
 		db := core.NewDB(eng)
 		wl := tpcc.Build(db, j.TPCC)
-		return core.Run(db, j.scheme(), wl, j.Cfg)
+		return core.RunObserved(db, j.scheme(), wl, cfg, obs)
 	default: // JobYCSB
 		eng := sim.New(j.Cores, j.Seed)
 		db := core.NewDB(eng)
@@ -130,7 +142,7 @@ func (j Job) Run() core.Result {
 			db.GlobalAlloc = mem.NewGlobalPool(eng)
 		}
 		wl := ycsb.Build(db, j.YCSB)
-		return core.Run(db, j.scheme(), wl, j.Cfg)
+		return core.RunObserved(db, j.scheme(), wl, cfg, obs)
 	}
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"fmt"
 	"math"
 	"strconv"
 	"strings"
@@ -62,17 +63,40 @@ func (rep *Report) JSON() ([]byte, error) {
 
 // csvColumns is the flat per-point CSV header. The first columns locate
 // the point within its figure; the rest are the full core.Result plus the
-// derived metrics the paper plots.
+// derived metrics the paper plots, the commit-latency percentiles (our
+// extension beyond the paper's throughput-only evaluation), and the
+// per-transaction-type summary.
 func csvColumns() []string {
 	cols := []string{
 		"experiment", "figure", "series", "x", "y",
 		"scheme", "workers", "commits", "aborts", "tuples",
 		"measure_cycles", "frequency_hz", "throughput_txn_s", "abort_fraction",
+		"lat_p50_cycles", "lat_p95_cycles", "lat_p99_cycles", "lat_max_cycles",
 	}
 	for c := stats.Component(0); c < stats.NumComponents; c++ {
 		cols = append(cols, c.Key()+"_cycles")
 	}
-	return cols
+	return append(cols, "per_txn")
+}
+
+// perTxnCSV flattens the per-type sub-results into one comma-free field:
+// `name=commits/aborts/p50/p99` entries joined by `;`, empty when the
+// workload declared no types. The full per-type histograms live in the
+// JSON form; this column carries the headline numbers so the CSV stays
+// one flat row per point.
+func perTxnCSV(per []core.TxnStats) string {
+	if len(per) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := range per {
+		t := &per[i]
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s=%d/%d/%d/%d", csvEscape(t.Name), t.Commits, t.Aborts, t.Latency.P50(), t.Latency.P99())
+	}
+	return b.String()
 }
 
 // CSV renders every data point as one flat row (breakdown tables are a
@@ -102,10 +126,15 @@ func (rep *Report) CSV() string {
 					formatFloat(r.Frequency),
 					formatFloat(finite(r.Throughput())),
 					formatFloat(finite(r.AbortFraction())),
+					strconv.FormatUint(r.Latency.P50(), 10),
+					strconv.FormatUint(r.Latency.P95(), 10),
+					strconv.FormatUint(r.Latency.P99(), 10),
+					strconv.FormatUint(r.Latency.Max(), 10),
 				}
 				for c := stats.Component(0); c < stats.NumComponents; c++ {
 					fields = append(fields, strconv.FormatUint(r.Breakdown.Get(c), 10))
 				}
+				fields = append(fields, perTxnCSV(r.PerTxn))
 				b.WriteString(strings.Join(fields, ","))
 				b.WriteByte('\n')
 			}
@@ -130,13 +159,18 @@ func finite(f float64) float64 {
 }
 
 // pointJSON fixes the Point wire format: the raw result plus the derived
-// metrics, so consumers need no cycle arithmetic.
+// metrics — throughput, abort fraction and the commit-latency percentiles
+// — so consumers need no cycle arithmetic or histogram math.
 type pointJSON struct {
 	X             float64     `json:"x"`
 	Y             float64     `json:"y"`
 	Result        core.Result `json:"result"`
 	Throughput    float64     `json:"throughput_txn_s"`
 	AbortFraction float64     `json:"abort_fraction"`
+	LatP50        uint64      `json:"lat_p50_cycles"`
+	LatP95        uint64      `json:"lat_p95_cycles"`
+	LatP99        uint64      `json:"lat_p99_cycles"`
+	LatMax        uint64      `json:"lat_max_cycles"`
 }
 
 // MarshalJSON emits the point with its full result and derived metrics.
@@ -147,6 +181,10 @@ func (pt Point) MarshalJSON() ([]byte, error) {
 		Result:        pt.Res,
 		Throughput:    finite(pt.Res.Throughput()),
 		AbortFraction: finite(pt.Res.AbortFraction()),
+		LatP50:        pt.Res.Latency.P50(),
+		LatP95:        pt.Res.Latency.P95(),
+		LatP99:        pt.Res.Latency.P99(),
+		LatMax:        pt.Res.Latency.Max(),
 	})
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -15,9 +16,17 @@ func testReport() (*Report, int) {
 	bd.Add(stats.Useful, 600)
 	bd.Add(stats.TsAlloc, 300)
 	bd.Add(stats.Wait, 100)
+	var lat stats.Histogram
+	for i := uint64(0); i < 2000; i++ {
+		lat.Record(500 + i)
+	}
 	res := core.Result{
 		Scheme: "NO_WAIT", Workers: 4, Commits: 2000, Aborts: 500, Tuples: 32000,
-		MeasureCycles: 1_000_000, Frequency: 1e9, Breakdown: bd,
+		MeasureCycles: 1_000_000, Frequency: 1e9, Breakdown: bd, Latency: lat,
+		PerTxn: []core.TxnStats{
+			{Name: "read", Commits: 1200, Aborts: 300, Latency: lat},
+			{Name: "update", Commits: 800, Aborts: 200},
+		},
 	}
 	fig := &Figure{
 		ID: "Fig T", Title: "test", XLabel: "cores", YLabel: "Mtxn/s",
@@ -102,11 +111,14 @@ func TestReportCSV(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want header + %d points:\n%s", len(lines), points, out)
 	}
 	header := strings.Split(lines[0], ",")
-	wantCols := 14 + int(stats.NumComponents)
+	wantCols := 18 + int(stats.NumComponents) + 1
 	if len(header) != wantCols {
 		t.Fatalf("CSV header has %d columns, want %d: %v", len(header), wantCols, header)
 	}
-	for _, col := range []string{"experiment", "scheme", "commits", "throughput_txn_s", "useful_cycles", "manager_cycles"} {
+	for _, col := range []string{
+		"experiment", "scheme", "commits", "throughput_txn_s", "useful_cycles", "manager_cycles",
+		"lat_p50_cycles", "lat_p95_cycles", "lat_p99_cycles", "lat_max_cycles", "per_txn",
+	} {
 		found := false
 		for _, h := range header {
 			if h == col {
@@ -126,6 +138,15 @@ func TestReportCSV(t *testing.T) {
 	if row[0] != "T" || row[5] != "NO_WAIT" || row[7] != "2000" {
 		t.Errorf("unexpected first row: %v", row)
 	}
+	// The latency max column carries the histogram's max; the per-txn
+	// column flattens name=commits/aborts/p50/p99 entries with ';'.
+	if row[17] != "2499" {
+		t.Errorf("lat_max_cycles = %q, want 2499", row[17])
+	}
+	perTxn := row[len(row)-1]
+	if !strings.HasPrefix(perTxn, "read=1200/300/") || !strings.Contains(perTxn, ";update=800/200/") {
+		t.Errorf("unexpected per_txn column: %q", perTxn)
+	}
 }
 
 func TestPointJSONRoundTrip(t *testing.T) {
@@ -139,7 +160,13 @@ func TestPointJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != orig {
+	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("point round trip changed the point:\norig %+v\nback %+v", orig, back)
+	}
+	// The derived latency percentile keys are part of the wire format.
+	for _, key := range []string{`"lat_p50_cycles"`, `"lat_p95_cycles"`, `"lat_p99_cycles"`, `"lat_max_cycles"`, `"per_txn"`, `"latency"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("point JSON missing key %s: %s", key, b)
+		}
 	}
 }

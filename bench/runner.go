@@ -45,11 +45,12 @@ const (
 // Plan threads the execution mode through a figure function. Figure code
 // only ever calls Run; everything else is driven by Build/BuildAll.
 type Plan struct {
-	mode       planMode
-	experiment string
-	jobs       []Job
-	results    []core.Result
-	next       int
+	mode        planMode
+	experiment  string
+	sampleEvery uint64 // direct mode: interval sampling period (0 = off)
+	jobs        []Job
+	results     []core.Result
+	next        int
 }
 
 // Run executes, records, or replays one job depending on the plan mode.
@@ -72,8 +73,25 @@ func (pl *Plan) Run(j Job) core.Result {
 		pl.next++
 		return r
 	default:
-		return j.Run()
+		return j.RunSampled(pl.sampleEvery, sampleSink(pl.sampleEvery))
 	}
+}
+
+// discardSamples is the sink for harness-level sampling: the smoke runs
+// only verify that sampling does not change results, so the samples
+// themselves are dropped.
+type discardSamples struct{}
+
+// OnSample implements core.Observer.
+func (discardSamples) OnSample(core.Sample) {}
+
+// sampleSink returns the discarding observer when sampling is on, nil
+// otherwise (core skips the sampler entirely for a nil observer).
+func sampleSink(every uint64) core.Observer {
+	if every == 0 {
+		return nil
+	}
+	return discardSamples{}
 }
 
 // Progress reports worker-pool completion to Runner.OnProgress.
@@ -99,6 +117,13 @@ type Runner struct {
 	// OnProgress, when non-nil, is called after every job completes.
 	// Calls are serialized; the callback must not block for long.
 	OnProgress func(Progress)
+
+	// SampleEvery, when positive, runs every engine-backed job with
+	// interval sampling enabled at this period (samples are discarded).
+	// Sampling is accounting-only, so results — and the rendered
+	// figures, JSON and CSV — are byte-identical to an unsampled run;
+	// the CI smoke step exercises exactly that equivalence.
+	SampleEvery uint64
 }
 
 func (r *Runner) workers() int {
@@ -106,6 +131,13 @@ func (r *Runner) workers() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return r.Workers
+}
+
+func (r *Runner) sampleEvery() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.SampleEvery
 }
 
 // Execute runs every job and returns results in job order. Jobs marked
@@ -140,6 +172,7 @@ func (r *Runner) Execute(jobs []Job) []core.Result {
 		r.OnProgress(Progress{Done: done, Total: len(jobs), Elapsed: elapsed, Remaining: remaining, Last: jobs[i]})
 	}
 
+	every := r.sampleEvery()
 	ch := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < r.workers(); w++ {
@@ -147,7 +180,7 @@ func (r *Runner) Execute(jobs []Job) []core.Result {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = jobs[i].Run()
+				results[i] = jobs[i].RunSampled(every, sampleSink(every))
 				complete(i)
 			}
 		}()
@@ -159,7 +192,7 @@ func (r *Runner) Execute(jobs []Job) []core.Result {
 	wg.Wait()
 
 	for _, i := range exclusive {
-		results[i] = jobs[i].Run()
+		results[i] = jobs[i].RunSampled(every, sampleSink(every))
 		complete(i)
 	}
 	return results
@@ -190,7 +223,7 @@ func serial(r *Runner) bool { return r == nil || r.Workers == 1 }
 
 func buildOne(e Experiment, p Params, r *Runner) *Figure {
 	if serial(r) {
-		return e.Run(p, &Plan{mode: planDirect, experiment: e.ID})
+		return e.Run(p, &Plan{mode: planDirect, experiment: e.ID, sampleEvery: r.sampleEvery()})
 	}
 	return BuildAll([]Experiment{e}, p, r)[0]
 }
@@ -203,7 +236,7 @@ func BuildAll(es []Experiment, p Params, r *Runner) []*Figure {
 	figs := make([]*Figure, len(es))
 	if serial(r) {
 		for i, e := range es {
-			figs[i] = e.Run(p, &Plan{mode: planDirect, experiment: e.ID})
+			figs[i] = e.Run(p, &Plan{mode: planDirect, experiment: e.ID, sampleEvery: r.sampleEvery()})
 		}
 		return figs
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -76,6 +77,39 @@ func TestSerialParallelEquivalence(t *testing.T) {
 	}
 	if serialRep.CSV() != parallelRep.CSV() {
 		t.Error("serial and parallel CSV reports differ")
+	}
+}
+
+// TestSampledUnsampledEquivalence pins that Runner.SampleEvery is
+// accounting-only: a run with interval sampling enabled produces
+// byte-identical figure text, JSON and CSV to a run without — the same
+// equivalence the CI smoke step checks end-to-end through abyss-bench
+// -sample. Both the pooled and the serial (direct) paths are covered.
+func TestSampledUnsampledEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~40 small simulations twice")
+	}
+	p := tinyParams()
+	es := equivalenceExperiments(t)
+	meta := RunMeta{Paper: "test", Scale: "tiny", Params: p}
+
+	for _, workers := range []int{1, 4} {
+		plain := NewReport(meta, es, BuildAll(es, p, &Runner{Workers: workers}))
+		sampled := NewReport(meta, es, BuildAll(es, p, &Runner{Workers: workers, SampleEvery: p.MeasureCycles / 8}))
+		pj, err := plain.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sj, err := sampled.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(pj) != string(sj) {
+			t.Errorf("workers=%d: sampling changed the JSON report", workers)
+		}
+		if plain.CSV() != sampled.CSV() {
+			t.Errorf("workers=%d: sampling changed the CSV report", workers)
+		}
 	}
 }
 
@@ -182,7 +216,7 @@ func TestRunnerProgress(t *testing.T) {
 		}
 	}
 	// Identical jobs must produce identical results wherever they ran.
-	if results[0] != results[4] || results[1] != results[3] {
+	if !reflect.DeepEqual(results[0], results[4]) || !reflect.DeepEqual(results[1], results[3]) {
 		t.Error("identical jobs produced different results across workers")
 	}
 }

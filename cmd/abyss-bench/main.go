@@ -36,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"abyss1000/abyss"
 	"abyss1000/bench"
 )
 
@@ -52,6 +53,7 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit the run as JSON on stdout (suppresses figure text)")
 		csvOut   = flag.Bool("csv", false, "emit every data point as a CSV row on stdout (suppresses figure text)")
 		quiet    = flag.Bool("quiet", false, "suppress progress reporting on stderr")
+		sample   = flag.Uint64("sample", 0, "run every data point with interval sampling enabled at this cycle period (accounting-only: output is byte-identical to an unsampled run; 0 disables)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
 		memProf  = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	)
@@ -76,6 +78,20 @@ func main() {
 	if *cores > 0 {
 		params.MaxCores = *cores
 		scale = "custom"
+	}
+	if *sample > 0 {
+		// The sampler preallocates per-interval state; reject periods
+		// that would explode against the widest window of this scale
+		// (native Fig. 3 windows are wall-clock nanoseconds).
+		widest := params.MeasureCycles
+		if params.NativeMeasureNS > widest {
+			widest = params.NativeMeasureNS
+		}
+		if n := (widest + *sample - 1) / *sample; n > abyss.MaxSampleIntervals {
+			fmt.Fprintf(os.Stderr, "abyss-bench: -sample %d yields %d intervals over the %d-cycle window; at most %d are allowed — use a coarser period\n",
+				*sample, n, widest, abyss.MaxSampleIntervals)
+			os.Exit(2)
+		}
 	}
 
 	switch {
@@ -110,7 +126,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "abyss-bench:", err)
 			os.Exit(1)
 		}
-		err = runExperiments(experiments, params, scale, *parallel, *jsonOut, *csvOut, *quiet, *all)
+		err = runExperiments(experiments, params, scale, *parallel, *sample, *jsonOut, *csvOut, *quiet, *all)
 		stopProfiles()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "abyss-bench:", err)
@@ -160,8 +176,8 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 
 // runExperiments executes the selected experiments on the worker pool and
 // writes the requested output format to stdout.
-func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, jsonOut, csvOut, quiet, withTable2 bool) error {
-	runner := &bench.Runner{Workers: parallel}
+func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, sample uint64, jsonOut, csvOut, quiet, withTable2 bool) error {
+	runner := &bench.Runner{Workers: parallel, SampleEvery: sample}
 	if !quiet {
 		runner.OnProgress = progressPrinter()
 	}

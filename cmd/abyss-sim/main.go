@@ -12,6 +12,9 @@
 //	abyss-sim -workload tpcc -scheme HSTORE -cores 64 -warehouses 64
 //	abyss-sim -workload smallbank -scheme OCC -cores 64 -hotpct 0.95
 //	abyss-sim -scheme DL_DETECT -runtime native -cores 8
+//	abyss-sim -scheme OCC -interval 250000        # live per-interval lines
+//	abyss-sim -workload smallbank -scheme MVCC -hist
+//	                                              # latency histogram + per-txn table
 package main
 
 import (
@@ -55,6 +58,10 @@ func main() {
 
 		warmup  = flag.Uint64("warmup", 300_000, "warmup cycles (ns if native)")
 		measure = flag.Uint64("measure", 1_500_000, "measurement cycles (ns if native)")
+
+		// Observability knobs.
+		interval = flag.Uint64("interval", 0, "print a live throughput/abort/latency line every N cycles of the measurement window (0 disables)")
+		hist     = flag.Bool("hist", false, "dump the commit-latency histogram and per-transaction-type results after the run")
 	)
 	flag.Parse()
 
@@ -125,6 +132,20 @@ func main() {
 		params.InsertsPerWorker = int(*measure/1000) + 1024
 	}
 
+	// The native auto-window adjustment above may have grown *measure, so
+	// validate -interval against the final window.
+	if flagGiven("interval") && *interval == 0 {
+		fail(fmt.Errorf("abyss-sim: -interval must be a positive cycle count (omit the flag to disable sampling)"))
+	}
+	if *interval > *measure {
+		fail(fmt.Errorf("abyss-sim: -interval must be in (0, measure=%d] cycles, got %d (a window shorter than one interval produces no samples)", *measure, *interval))
+	}
+	if *interval > 0 {
+		if n := (*measure + *interval - 1) / *interval; n > abyss.MaxSampleIntervals {
+			fail(fmt.Errorf("abyss-sim: -interval %d yields %d intervals over measure=%d; at most %d are allowed — use a coarser interval", *interval, n, *measure, abyss.MaxSampleIntervals))
+		}
+	}
+
 	wl, err := db.BuildWorkload(*workload, params)
 	if err != nil {
 		fail(err)
@@ -133,15 +154,75 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	res, err := db.Run(scheme, wl, abyss.RunConfig{
+	rc := abyss.RunConfig{
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		AbortBackoff:  1000,
-	})
+		SampleEvery:   *interval,
+	}
+
+	var res abyss.Result
+	if *interval > 0 {
+		samples, wait := db.RunStream(scheme, wl, rc)
+		for s := range samples {
+			fmt.Printf("[%*d/%d] %12.0f txn/s  abort %5.1f%%  p50 %6d  p99 %8d cyc\n",
+				len(fmt.Sprint(*measure)), s.EndCycle, *measure,
+				s.Throughput(), s.AbortFraction()*100, s.Latency.P50(), s.Latency.P99())
+		}
+		res, err = wait()
+	} else {
+		res, err = db.Run(scheme, wl, rc)
+	}
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(res.String())
+	if *hist {
+		printHistogram(&res)
+	}
+}
+
+// printHistogram dumps the run's commit-latency histogram and, when the
+// workload declares transaction types, the per-type sub-results.
+func printHistogram(res *abyss.Result) {
+	fmt.Printf("\ncommit latency (cycles): p50 %d  p95 %d  p99 %d  max %d  mean %.1f  (n=%d)\n",
+		res.Latency.P50(), res.Latency.P95(), res.Latency.P99(),
+		res.Latency.Max(), res.Latency.Mean(), res.Latency.Count())
+	var peak uint64
+	for i := 0; i < abyss.NumHistBuckets; i++ {
+		if c := res.Latency.Bucket(i); c > peak {
+			peak = c
+		}
+	}
+	for i := 0; i < abyss.NumHistBuckets; i++ {
+		c := res.Latency.Bucket(i)
+		if c == 0 {
+			continue
+		}
+		lo, hi := abyss.HistBucketBounds(i)
+		bar := strings.Repeat("#", int(40*c/peak))
+		fmt.Printf("  [%12d, %12d) %10d %s\n", lo, hi, c, bar)
+	}
+	if len(res.PerTxn) == 0 {
+		return
+	}
+	fmt.Printf("\n%-18s %10s %10s %8s %8s %10s\n", "transaction", "commits", "aborts", "p50", "p99", "max")
+	for i := range res.PerTxn {
+		t := &res.PerTxn[i]
+		fmt.Printf("%-18s %10d %10d %8d %8d %10d\n",
+			t.Name, t.Commits, t.Aborts, t.Latency.P50(), t.Latency.P99(), t.Latency.Max())
+	}
+}
+
+// flagGiven reports whether the named flag was set on the command line.
+func flagGiven(name string) bool {
+	given := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			given = true
+		}
+	})
+	return given
 }
 
 // applyPct overrides *dst with v when the flag was given (v >= 0),

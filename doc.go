@@ -28,6 +28,16 @@
 // documents, per paper figure, the expected curve shapes and the exact
 // command reproducing each.
 //
+// Observability goes beyond the paper's throughput-only evaluation:
+// every Result carries a log2-bucketed commit-latency histogram
+// (internal/stats.Histogram, p50/p95/p99/max) and per-transaction-type
+// sub-results (Result.PerTxn, names flowing from TxnSpec registration or
+// a workload's TxnTyper), and runs can be watched in flight via
+// RunConfig.SampleEvery with an Observer or DB.RunStream's buffered
+// sample channel — on both runtimes. All of it is accounting-only:
+// observability_test.go pins that an observed, sampled run reproduces
+// the golden signature and final Result byte-for-byte.
+//
 // The DBMS access path is closure-free and steady-state allocation-free
 // (the paper's §4.1 malloc wall): schemes expose a buffer-returning
 // WriteRow instead of a callback-taking Write, transient buffers come

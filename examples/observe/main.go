@@ -1,0 +1,67 @@
+// Observe: watch a run in flight. RunStream executes the measurement in
+// the background and delivers one Sample per interval — throughput, abort
+// rate and a latency histogram for just that slice of the window — then
+// the final Result adds the full commit-latency distribution and the
+// per-transaction-type sub-results. Sampling is accounting-only: the
+// Result is byte-identical to a plain db.Run of the same configuration.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"abyss1000/abyss"
+
+	// Register the SmallBank workload: six named banking procedures, so
+	// Result.PerTxn attributes commits, aborts and latency per type.
+	_ "abyss1000/workloads/smallbank"
+)
+
+func main() {
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 64, Seed: 42})
+	if err != nil {
+		log.Fatal(err)
+	}
+	params, err := abyss.DefaultWorkloadParams("smallbank")
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload, err := db.BuildWorkload("smallbank", params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	scheme, err := abyss.NewScheme("MVCC")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Sample every 200k cycles (0.2 ms of simulated time) of the 2 ms
+	// measurement window: ten in-flight snapshots.
+	cfg := abyss.RunConfig{
+		WarmupCycles:  400_000,
+		MeasureCycles: 2_000_000,
+		AbortBackoff:  1000,
+		SampleEvery:   200_000,
+	}
+	samples, wait := db.RunStream(scheme, workload, cfg)
+	for s := range samples {
+		fmt.Printf("t=%4.1fms  %11.0f txn/s  abort %4.1f%%  p50 %5d  p99 %6d cycles\n",
+			float64(s.EndCycle)/1e6, s.Throughput(), s.AbortFraction()*100,
+			s.Latency.P50(), s.Latency.P99())
+	}
+
+	res, err := wait()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(res.String())
+	fmt.Printf("latency: p50 %d  p95 %d  p99 %d  max %d cycles over %d commits\n",
+		res.Latency.P50(), res.Latency.P95(), res.Latency.P99(), res.Latency.Max(), res.Latency.Count())
+	fmt.Println()
+	fmt.Printf("%-18s %10s %10s %8s %8s\n", "transaction", "commits", "aborts", "p50", "p99")
+	for i := range res.PerTxn {
+		t := &res.PerTxn[i]
+		fmt.Printf("%-18s %10d %10d %8d %8d\n", t.Name, t.Commits, t.Aborts, t.Latency.P50(), t.Latency.P99())
+	}
+}

@@ -1,0 +1,248 @@
+// Observability: per-transaction-type attribution, commit-latency
+// histograms, and in-flight interval sampling.
+//
+// Everything in this file is accounting-only. Recording an observation
+// never calls Tick/Sync/Mem* — it reads the worker's clock and increments
+// worker-private counters — so enabling any of it cannot perturb a
+// simulated schedule: a run with observers, histograms and per-type
+// attribution produces bit-identical commits, aborts and breakdowns to a
+// run without (pinned by TestObserverDoesNotPerturbGolden). On the native
+// runtime the per-commit cost is a few array increments; cross-worker
+// aggregation happens at most once per sample interval per worker.
+package core
+
+import (
+	"sync"
+
+	"abyss1000/internal/stats"
+)
+
+// TxnTyper is an optional interface for Workload enabling per-transaction-
+// type sub-results. When the workload implements it, Run attributes every
+// completed transaction to a type and Result.PerTxn reports one TxnStats
+// per type, in TxnTypes order. The built-in workloads, abyss.Mix, and any
+// workload built from registered TxnSpecs implement it; a workload that
+// does not simply gets no PerTxn breakdown.
+type TxnTyper interface {
+	// TxnTypes returns the stable list of transaction type names. It
+	// must return the same list on every call (callers may cache or
+	// re-request it; implementations should return a stored slice).
+	TxnTypes() []string
+
+	// TxnTypeOf returns the index of txn's type in TxnTypes, or -1 when
+	// the transaction is not one of the declared types (such
+	// transactions count toward the aggregate Result only).
+	TxnTypeOf(txn Txn) int
+}
+
+// TxnStats is one transaction type's sub-result: outcome counts and the
+// commit-latency histogram, measured over the same window as the
+// aggregate Result. Commits includes program-logic rollbacks (completed
+// work, per TPC-C); Aborts counts concurrency-control aborts. Latency is
+// first-attempt-start to commit, so it includes restart and backoff time.
+type TxnStats struct {
+	Name    string          `json:"name"`
+	Commits uint64          `json:"commits"`
+	Aborts  uint64          `json:"aborts"`
+	Latency stats.Histogram `json:"latency"`
+}
+
+// merge adds other's counts into s (names are carried by position).
+func (s *TxnStats) merge(other *TxnStats) {
+	s.Commits += other.Commits
+	s.Aborts += other.Aborts
+	s.Latency.Merge(&other.Latency)
+}
+
+// Sample is one interval's snapshot of a run in flight. Intervals
+// partition the measurement window: every committed transaction and every
+// CC abort inside the window lands in exactly one sample, so the samples
+// sum to the final Result's counts and their latency histograms merge to
+// Result.Latency.
+type Sample struct {
+	// Interval is the 0-based interval index.
+	Interval int `json:"interval"`
+
+	// EndCycle is the interval's end as an offset from the start of the
+	// measurement window; the last sample's EndCycle equals the
+	// configured MeasureCycles.
+	EndCycle uint64 `json:"end_cycle"`
+
+	// Cycles is the interval's width. It equals Config.SampleEvery for
+	// every interval except possibly the last, which may be partial.
+	Cycles uint64 `json:"cycles"`
+
+	// Commits and Aborts count transaction outcomes whose completion
+	// fell inside this interval.
+	Commits uint64 `json:"commits"`
+	Aborts  uint64 `json:"aborts"`
+
+	// Frequency is the runtime's cycle frequency in Hz, carried so the
+	// rate accessors need no external context.
+	Frequency float64 `json:"frequency_hz"`
+
+	// Latency is the commit-latency histogram of this interval alone.
+	Latency stats.Histogram `json:"latency"`
+}
+
+// Throughput returns the interval's committed transactions per second.
+func (s Sample) Throughput() float64 {
+	if s.Cycles == 0 || s.Frequency <= 0 {
+		return 0
+	}
+	return float64(s.Commits) / (float64(s.Cycles) / s.Frequency)
+}
+
+// AbortFraction returns aborted attempts / all attempts in the interval.
+func (s Sample) AbortFraction() float64 {
+	total := s.Commits + s.Aborts
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Aborts) / float64(total)
+}
+
+// Observer receives interval samples during a run. OnSample is called
+// from worker threads (under the simulator, from whichever simulated
+// core's goroutine completed the interval) with strictly increasing
+// Interval values; it must return promptly — under the simulator a
+// blocked observer blocks the whole simulation. Implementations that need
+// to do slow work should hand the sample off (see abyss.DB.RunStream,
+// which sends into a channel buffered for the whole run).
+type Observer interface {
+	OnSample(s Sample)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Sample)
+
+// OnSample implements Observer.
+func (f ObserverFunc) OnSample(s Sample) { f(s) }
+
+// MaxSampleIntervals bounds MeasureCycles / SampleEvery. The sampler
+// preallocates one interval aggregate (~0.5 KB: a latency histogram plus
+// counters) per interval, and RunStream buffers one Sample per interval,
+// so an unbounded ratio would let a tiny sampling period allocate
+// gigabytes before the run starts. 100k intervals (~50 MB) is far beyond
+// any useful sampling resolution.
+const MaxSampleIntervals = 100_000
+
+// intervalAgg accumulates one interval's contribution (per worker while
+// pending, per interval once flushed).
+type intervalAgg struct {
+	commits, aborts uint64
+	lat             stats.Histogram
+}
+
+// merge drains other into a.
+func (a *intervalAgg) merge(other *intervalAgg) {
+	a.commits += other.commits
+	a.aborts += other.aborts
+	a.lat.Merge(&other.lat)
+	*other = intervalAgg{}
+}
+
+// sampler coordinates interval emission across workers. Each worker
+// accumulates its current interval's counts privately (no sharing on the
+// per-transaction path) and flushes under the mutex only when its clock
+// crosses into a new interval; interval i is emitted once every worker
+// has flushed past it, so samples are complete, in order, and identical
+// between runtimes modulo the runtimes' own schedules. Under the
+// simulator exactly one worker goroutine runs at a time, so the mutex is
+// uncontended and emission order is deterministic.
+type sampler struct {
+	every      uint64
+	warmEnd    uint64
+	measure    uint64
+	freq       float64
+	obs        Observer
+	nIntervals int64
+
+	mu      sync.Mutex
+	flushed []int64 // per worker: highest interval flushed, -1 for none
+	emitted int64   // last interval handed to the observer
+	agg     []intervalAgg
+}
+
+// newSampler sizes the interval table for cfg's window. All allocation
+// happens here, before workers start.
+func newSampler(cfg Config, workers int, freq float64, obs Observer) *sampler {
+	n := int64((cfg.MeasureCycles + cfg.SampleEvery - 1) / cfg.SampleEvery)
+	s := &sampler{
+		every:      cfg.SampleEvery,
+		warmEnd:    cfg.WarmupCycles,
+		measure:    cfg.MeasureCycles,
+		freq:       freq,
+		obs:        obs,
+		nIntervals: n,
+		flushed:    make([]int64, workers),
+		emitted:    -1,
+		agg:        make([]intervalAgg, n),
+	}
+	for i := range s.flushed {
+		s.flushed[i] = -1
+	}
+	return s
+}
+
+// intervalOf maps a completion time inside the measurement window to its
+// interval index.
+func (s *sampler) intervalOf(now uint64) int64 {
+	if now < s.warmEnd {
+		return 0
+	}
+	idx := int64((now - s.warmEnd) / s.every)
+	if idx >= s.nIntervals {
+		idx = s.nIntervals - 1
+	}
+	return idx
+}
+
+// advance flushes worker's pending counts for interval cur and marks
+// intervals cur..next-1 complete for that worker (a worker that skipped
+// intervals simply contributed nothing to them).
+func (s *sampler) advance(worker int, cur, next int64, pend *intervalAgg) {
+	s.mu.Lock()
+	s.agg[cur].merge(pend)
+	s.flushed[worker] = next - 1
+	s.emitReady()
+	s.mu.Unlock()
+}
+
+// finish flushes worker's final pending counts and marks every interval
+// complete for it; called once when the worker's run loop exits.
+func (s *sampler) finish(worker int, cur int64, pend *intervalAgg) {
+	s.mu.Lock()
+	s.agg[cur].merge(pend)
+	s.flushed[worker] = s.nIntervals - 1
+	s.emitReady()
+	s.mu.Unlock()
+}
+
+// emitReady hands every interval all workers have flushed past to the
+// observer, in order. Called with mu held.
+func (s *sampler) emitReady() {
+	ready := s.nIntervals - 1
+	for _, f := range s.flushed {
+		if f < ready {
+			ready = f
+		}
+	}
+	for i := s.emitted + 1; i <= ready; i++ {
+		a := &s.agg[i]
+		end := uint64(i+1) * s.every
+		if end > s.measure {
+			end = s.measure
+		}
+		s.obs.OnSample(Sample{
+			Interval:  int(i),
+			EndCycle:  end,
+			Cycles:    end - uint64(i)*s.every,
+			Commits:   a.commits,
+			Aborts:    a.aborts,
+			Frequency: s.freq,
+			Latency:   a.lat,
+		})
+		s.emitted = i
+	}
+}

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -10,13 +11,21 @@ import (
 )
 
 // TestResultJSONRoundTrip pins the stable serialization of Result: every
-// field, including the six-component breakdown, survives a marshal/
+// field — including the six-component breakdown, the latency histogram
+// and the per-transaction-type sub-results — survives a marshal/
 // unmarshal cycle unchanged.
 func TestResultJSONRoundTrip(t *testing.T) {
 	var bd stats.Breakdown
 	for c := stats.Component(0); c < stats.NumComponents; c++ {
 		bd.Add(c, uint64(100*(int(c)+1)))
 	}
+	var lat stats.Histogram
+	for _, v := range []uint64{100, 900, 900, 4000, 1 << 20} {
+		lat.Record(v)
+	}
+	var payLat stats.Histogram
+	payLat.Record(100)
+	payLat.Record(900)
 	orig := core.Result{
 		Scheme:        "MVCC",
 		Workers:       64,
@@ -26,6 +35,11 @@ func TestResultJSONRoundTrip(t *testing.T) {
 		MeasureCycles: 800_000,
 		Frequency:     1e9,
 		Breakdown:     bd,
+		Latency:       lat,
+		PerTxn: []core.TxnStats{
+			{Name: "Payment", Commits: 61728, Aborts: 400, Latency: payLat},
+			{Name: "NewOrder", Commits: 61728, Aborts: 389},
+		},
 	}
 
 	b, err := json.Marshal(orig)
@@ -36,18 +50,23 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if err := json.Unmarshal(b, &back); err != nil {
 		t.Fatal(err)
 	}
-	if back != orig {
+	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("round trip changed the result:\norig %+v\nback %+v", orig, back)
 	}
 	if back.Throughput() != orig.Throughput() || back.AbortFraction() != orig.AbortFraction() {
 		t.Fatal("derived metrics changed across round trip")
+	}
+	if back.Latency.P99() != orig.Latency.P99() || back.Latency.Max() != orig.Latency.Max() {
+		t.Fatal("latency percentiles changed across round trip")
 	}
 }
 
 // TestResultJSONStableKeys pins the wire format's field names — external
 // consumers (CI artifacts, plotting scripts) parse these.
 func TestResultJSONStableKeys(t *testing.T) {
-	b, err := json.Marshal(core.Result{})
+	b, err := json.Marshal(core.Result{
+		PerTxn: []core.TxnStats{{Name: "Payment"}},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,9 +74,36 @@ func TestResultJSONStableKeys(t *testing.T) {
 		`"scheme"`, `"workers"`, `"commits"`, `"aborts"`, `"tuples"`,
 		`"measure_cycles"`, `"frequency_hz"`, `"breakdown"`,
 		`"useful"`, `"abort"`, `"ts_alloc"`, `"index"`, `"wait"`, `"manager"`,
+		`"latency"`, `"per_txn"`, `"name"`, `"count"`, `"sum"`, `"max"`, `"buckets"`,
 	} {
 		if !strings.Contains(string(b), key) {
 			t.Errorf("Result JSON missing key %s: %s", key, b)
 		}
+	}
+
+	// A result without per-type attribution omits per_txn entirely
+	// rather than emitting null.
+	b, err = json.Marshal(core.Result{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), `"per_txn"`) {
+		t.Errorf("Result without PerTxn should omit the key: %s", b)
+	}
+}
+
+// TestSampleRates pins Sample's derived rate accessors, including the
+// zero-value guards.
+func TestSampleRates(t *testing.T) {
+	s := core.Sample{Cycles: 1_000_000, Commits: 1000, Aborts: 1000, Frequency: 1e9}
+	if got := s.Throughput(); got != 1e6 {
+		t.Fatalf("Throughput = %v, want 1e6", got)
+	}
+	if got := s.AbortFraction(); got != 0.5 {
+		t.Fatalf("AbortFraction = %v, want 0.5", got)
+	}
+	var zero core.Sample
+	if zero.Throughput() != 0 || zero.AbortFraction() != 0 {
+		t.Fatal("zero-value Sample rates should be 0")
 	}
 }

@@ -22,6 +22,13 @@ type Config struct {
 	// AbortBackoff is the mean randomized restart penalty after a CC
 	// abort, in cycles. Zero disables backoff.
 	AbortBackoff uint64
+
+	// SampleEvery, when positive and an Observer is passed to
+	// RunObserved, divides the measurement window into intervals of this
+	// many cycles and emits one Sample per interval. Sampling is
+	// accounting-only: it never perturbs the schedule or the final
+	// Result. Zero disables sampling.
+	SampleEvery uint64
 }
 
 // DefaultConfig returns a window sized for quick experiments: 0.4 ms of
@@ -36,10 +43,17 @@ func DefaultConfig() Config {
 
 // Validate rejects configurations that cannot produce a meaningful
 // measurement. A zero MeasureCycles window would end the run before any
-// transaction commits and make every per-second rate divide by zero.
+// transaction commits and make every per-second rate divide by zero, and
+// a sampling period yielding more than MaxSampleIntervals intervals
+// would make the sampler's preallocation unbounded.
 func (c Config) Validate() error {
 	if c.MeasureCycles == 0 {
 		return errors.New("core: Config.MeasureCycles must be positive")
+	}
+	if c.SampleEvery > 0 {
+		if n := (c.MeasureCycles + c.SampleEvery - 1) / c.SampleEvery; n > MaxSampleIntervals {
+			return fmt.Errorf("core: Config.SampleEvery %d yields %d sample intervals over MeasureCycles %d; at most %d are allowed — use a coarser sampling period", c.SampleEvery, n, c.MeasureCycles, MaxSampleIntervals)
+		}
 	}
 	return nil
 }
@@ -57,6 +71,17 @@ type Result struct {
 	MeasureCycles uint64          `json:"measure_cycles"`
 	Frequency     float64         `json:"frequency_hz"`
 	Breakdown     stats.Breakdown `json:"breakdown"`
+
+	// Latency is the commit-latency histogram over the measurement
+	// window (cycles from first-attempt start to commit, including
+	// restarts and backoff). Latency.Count() equals Commits.
+	Latency stats.Histogram `json:"latency"`
+
+	// PerTxn breaks the run down by transaction type when the workload
+	// implements TxnTyper, in TxnTypes order; nil otherwise. Commits and
+	// Aborts sum to the aggregate fields above (transactions the typer
+	// does not recognise — TxnTypeOf < 0 — count only in the aggregate).
+	PerTxn []TxnStats `json:"per_txn,omitempty"`
 }
 
 // perSec converts an event count over the measurement window into a rate.
@@ -107,6 +132,16 @@ func (r Result) String() string {
 // each worker's transaction stream until the simulated (or wall-clock)
 // deadline passes.
 func Run(db *DB, scheme Scheme, wl Workload, cfg Config) Result {
+	return RunObserved(db, scheme, wl, cfg, nil)
+}
+
+// RunObserved is Run with in-flight interval sampling: when obs is
+// non-nil and cfg.SampleEvery is positive, one Sample per interval of the
+// measurement window is delivered to obs during the run (see Observer for
+// the calling contract). Sampling is accounting-only — the returned
+// Result, and under the simulator the entire schedule, are identical to
+// an unobserved Run.
+func RunObserved(db *DB, scheme Scheme, wl Workload, cfg Config, obs Observer) Result {
 	if err := cfg.Validate(); err != nil {
 		// Inside the engine an invalid window is a programming error;
 		// the public abyss API validates and returns errors instead.
@@ -114,9 +149,16 @@ func Run(db *DB, scheme Scheme, wl Workload, cfg Config) Result {
 	}
 	scheme.Setup(db)
 	n := db.RT.NumProcs()
+	var smp *sampler
+	if obs != nil && cfg.SampleEvery > 0 {
+		smp = newSampler(cfg, n, db.RT.Frequency(), obs)
+	}
+	typer, _ := wl.(TxnTyper)
 	workers := make([]*Worker, n)
 	db.RT.Run(func(p rt.Proc) {
 		w := newWorker(p, db, scheme)
+		w.BindWorkload(wl)
+		w.smp = smp
 		workers[p.ID()] = w
 		warmEnd := cfg.WarmupCycles
 		end := warmEnd + cfg.MeasureCycles
@@ -128,11 +170,12 @@ func Run(db *DB, scheme Scheme, wl Workload, cfg Config) Result {
 			}
 			if !resetDone && now >= warmEnd {
 				p.Stats().Reset()
-				w.Count = stats.Counters{}
+				w.resetWindow()
 				resetDone = true
 			}
 			w.runTxn(wl.Next(p), warmEnd, end, cfg.AbortBackoff)
 		}
+		w.finishSampling()
 	})
 
 	res := Result{
@@ -141,11 +184,22 @@ func Run(db *DB, scheme Scheme, wl Workload, cfg Config) Result {
 		MeasureCycles: cfg.MeasureCycles,
 		Frequency:     db.RT.Frequency(),
 	}
+	if typer != nil {
+		names := typer.TxnTypes()
+		res.PerTxn = make([]TxnStats, len(names))
+		for i, name := range names {
+			res.PerTxn[i].Name = name
+		}
+	}
 	for _, w := range workers {
 		res.Commits += w.Count.Commits
 		res.Aborts += w.Count.Aborts
 		res.Tuples += w.Count.Tuples
 		res.Breakdown.Merge(w.P.Stats())
+		res.Latency.Merge(&w.Lat)
+		for i := range w.perTxn {
+			res.PerTxn[i].merge(&w.perTxn[i])
+		}
 	}
 	return res
 }

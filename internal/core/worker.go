@@ -15,6 +15,23 @@ type Worker struct {
 	Scheme Scheme
 	Ctx    TxnCtx
 	Count  stats.Counters
+
+	// Lat is the commit-latency histogram over the measurement window
+	// (first-attempt start to commit, so restarts and backoff count).
+	Lat stats.Histogram
+
+	// typer/perTxn hold the per-transaction-type attribution when the
+	// bound workload implements TxnTyper (Names stay empty here; Run
+	// fills them when merging workers into the Result).
+	typer  TxnTyper
+	perTxn []TxnStats
+
+	// smp/scur/spend are the interval-sampling state: spend accumulates
+	// the current interval scur privately and is flushed to smp when the
+	// worker's clock crosses an interval boundary.
+	smp   *sampler
+	scur  int64
+	spend intervalAgg
 }
 
 // NewWorker constructs a worker bound to proc p, for callers that drive
@@ -24,11 +41,25 @@ func NewWorker(p rt.Proc, db *DB, scheme Scheme) *Worker {
 	return newWorker(p, db, scheme)
 }
 
+// BindWorkload attaches per-transaction-type attribution to the worker
+// when wl implements TxnTyper. The engine's Run binds automatically;
+// hand-built workers (scheme tests, benchmarks) call it themselves when
+// they want Lat and the per-type counters populated.
+func (w *Worker) BindWorkload(wl Workload) {
+	if t, ok := wl.(TxnTyper); ok {
+		w.typer = t
+		w.perTxn = make([]TxnStats, len(t.TxnTypes()))
+	}
+}
+
 // ExecOnce runs a single attempt of txn — Begin, body, Commit (applying
 // staged inserts) — and returns ErrAbort without retrying, rolling the
 // transaction back first. It gives tests and external drivers per-attempt
-// control that the engine's retry loop hides.
+// control that the engine's retry loop hides. Outcomes are recorded into
+// the worker's latency histogram and per-type counters (no measurement
+// window applies outside Run).
 func (w *Worker) ExecOnce(txn Txn) error {
+	start := w.P.Now()
 	w.Ctx.reset()
 	w.Ctx.Txn = txn
 	w.Scheme.Begin(&w.Ctx)
@@ -40,11 +71,78 @@ func (w *Worker) ExecOnce(txn Txn) error {
 			if h, ok := txn.(CommitHook); ok {
 				h.Committed()
 			}
+			w.observeCommit(txn, w.P.Now(), start)
 			return nil
 		}
 	}
 	w.Scheme.Abort(&w.Ctx)
+	if err == ErrUserAbort {
+		// Program-logic rollback: completed work, like the engine's loop.
+		w.observeCommit(txn, w.P.Now(), start)
+	} else {
+		w.observeAbort(txn, w.P.Now())
+	}
 	return err
+}
+
+// observeCommit records a completed transaction (commit or program-logic
+// rollback) at time now for a transaction whose first attempt began at
+// start. Accounting only: no simulated time is billed.
+func (w *Worker) observeCommit(txn Txn, now, start uint64) {
+	lat := now - start
+	w.Lat.Record(lat)
+	if w.typer != nil {
+		if k := w.typer.TxnTypeOf(txn); k >= 0 && k < len(w.perTxn) {
+			w.perTxn[k].Commits++
+			w.perTxn[k].Latency.Record(lat)
+		}
+	}
+	if w.smp != nil {
+		w.sampleRoll(now)
+		w.spend.commits++
+		w.spend.lat.Record(lat)
+	}
+}
+
+// observeAbort records a concurrency-control abort at time now.
+func (w *Worker) observeAbort(txn Txn, now uint64) {
+	if w.typer != nil {
+		if k := w.typer.TxnTypeOf(txn); k >= 0 && k < len(w.perTxn) {
+			w.perTxn[k].Aborts++
+		}
+	}
+	if w.smp != nil {
+		w.sampleRoll(now)
+		w.spend.aborts++
+	}
+}
+
+// sampleRoll flushes the pending interval counts when now has crossed
+// into a later interval than the one being accumulated.
+func (w *Worker) sampleRoll(now uint64) {
+	if idx := w.smp.intervalOf(now); idx != w.scur {
+		w.smp.advance(w.P.ID(), w.scur, idx, &w.spend)
+		w.scur = idx
+	}
+}
+
+// finishSampling flushes the final pending interval; called when the
+// worker's run loop exits.
+func (w *Worker) finishSampling() {
+	if w.smp != nil {
+		w.smp.finish(w.P.ID(), w.scur, &w.spend)
+	}
+}
+
+// resetWindow discards observations accumulated before the measurement
+// window opens (the warmup reset).
+func (w *Worker) resetWindow() {
+	w.Count = stats.Counters{}
+	w.Lat.Reset()
+	for i := range w.perTxn {
+		w.perTxn[i] = TxnStats{}
+	}
+	w.spend = intervalAgg{}
 }
 
 func newWorker(p rt.Proc, db *DB, scheme Scheme) *Worker {
@@ -64,6 +162,7 @@ func newWorker(p rt.Proc, db *DB, scheme Scheme) *Worker {
 // and updates counters for work completed inside [warmEnd, end).
 func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 	p := w.P
+	start := p.Now()
 	for {
 		if p.Now() >= end {
 			return
@@ -90,6 +189,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 			if inWindow {
 				w.Count.Commits++
 				w.Count.Tuples += w.Ctx.tuples
+				w.observeCommit(txn, now, start)
 			}
 			if h, ok := txn.(CommitHook); ok {
 				h.Committed()
@@ -103,6 +203,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 			if inWindow {
 				w.Count.Commits++
 				w.Count.Tuples += w.Ctx.tuples
+				w.observeCommit(txn, now, start)
 			}
 			return
 		case ErrAbort:
@@ -111,6 +212,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 			p.Stats().AbortAttempt()
 			if inWindow {
 				w.Count.Aborts++
+				w.observeAbort(txn, now)
 			}
 			if backoff > 0 {
 				p.Tick(stats.Abort, uint64(p.Rand().Int63n(int64(2*backoff)))+1)

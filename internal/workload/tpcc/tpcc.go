@@ -254,4 +254,25 @@ func (w *Workload) Next(p rt.Proc) core.Txn {
 	return t
 }
 
-var _ core.Workload = (*Workload)(nil)
+// txnTypeNames lists the two TPC-C transaction types the paper's mix
+// runs (§3.3), in TxnTypeOf index order.
+var txnTypeNames = []string{"Payment", "NewOrder"}
+
+// TxnTypes implements core.TxnTyper.
+func (w *Workload) TxnTypes() []string { return txnTypeNames }
+
+// TxnTypeOf implements core.TxnTyper.
+func (w *Workload) TxnTypeOf(t core.Txn) int {
+	switch t.(type) {
+	case *paymentTxn:
+		return 0
+	case *newOrderTxn:
+		return 1
+	}
+	return -1
+}
+
+var (
+	_ core.Workload = (*Workload)(nil)
+	_ core.TxnTyper = (*Workload)(nil)
+)

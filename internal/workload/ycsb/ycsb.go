@@ -153,6 +153,16 @@ func (w *Workload) Next(p rt.Proc) core.Txn {
 	return t
 }
 
+// txnTypeNames is the single YCSB transaction type (§3.3: every
+// transaction is the same scatter of ReqPerTxn point accesses).
+var txnTypeNames = []string{"ycsb"}
+
+// TxnTypes implements core.TxnTyper.
+func (w *Workload) TxnTypes() []string { return txnTypeNames }
+
+// TxnTypeOf implements core.TxnTyper.
+func (w *Workload) TxnTypeOf(core.Txn) int { return 0 }
+
 // hasKey reports whether k was already chosen for this transaction; the
 // paper's transactions access 16 distinct records.
 func (t *txn) hasKey(k uint64) bool {
@@ -281,4 +291,5 @@ func (t *txn) Run(tx *core.TxnCtx) error {
 func (t *txn) Partitions() []int { return t.parts }
 
 var _ core.Workload = (*Workload)(nil)
+var _ core.TxnTyper = (*Workload)(nil)
 var _ core.Txn = (*txn)(nil)

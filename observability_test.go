@@ -1,0 +1,186 @@
+package abyss1000_test
+
+// Observability regression tests: latency histograms, per-transaction-
+// type attribution and interval sampling are accounting-only, so enabling
+// any of them must not move a single simulated cycle. These tests pin
+// that from three angles: the golden signature, the full Result, and the
+// internal consistency of the samples themselves.
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"abyss1000/bench"
+	"abyss1000/internal/core"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/workload/tpcc"
+	"abyss1000/internal/workload/ycsb"
+)
+
+// collectObserver accumulates every sample (mutex-guarded so the same
+// observer also works under the native runtime).
+type collectObserver struct {
+	mu      sync.Mutex
+	samples []core.Sample
+}
+
+func (c *collectObserver) OnSample(s core.Sample) {
+	c.mu.Lock()
+	c.samples = append(c.samples, s)
+	c.mu.Unlock()
+}
+
+// TestObserverDoesNotPerturbGolden is the observer-determinism test: the
+// full golden mix (seven schemes on YCSB, four on TPC-C) run with
+// interval sampling and an observer attached must produce the exact
+// golden signature — byte-identical commits, aborts, tuples and raw
+// breakdown buckets — that the unobserved run pins in
+// testdata/golden_sim.txt.
+func TestObserverDoesNotPerturbGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~22 full simulations")
+	}
+	base := bench.GoldenSignature()
+	obs := &collectObserver{}
+	sampled := bench.GoldenSignatureObserved(25_000, obs)
+	if sampled != base {
+		t.Fatalf("sampling perturbed the simulated schedule:\nunobserved:\n%s\nobserved:\n%s", base, sampled)
+	}
+	// 200k-cycle window at 25k per interval = 8 samples per run, 11 runs.
+	if want := 8 * 11; len(obs.samples) != want {
+		t.Fatalf("observer received %d samples, want %d", len(obs.samples), want)
+	}
+}
+
+// ycsbRun executes one small simulated YCSB measurement, optionally
+// observed, and returns the result.
+func ycsbRun(scheme string, cfg core.Config, obs core.Observer) core.Result {
+	eng := sim.New(8, 42)
+	db := core.NewDB(eng)
+	ycfg := ycsb.DefaultConfig()
+	ycfg.Rows = 4096
+	ycfg.ReqPerTxn = 8
+	wl := ycsb.Build(db, ycfg)
+	return core.RunObserved(db, bench.MakeScheme(scheme, tsalloc.Atomic), wl, cfg, obs)
+}
+
+// TestRunObservedResultIdentical pins that the complete Result — the
+// counters and breakdown and the new latency histogram and per-type
+// sub-results — is deep-equal with and without an observer attached.
+func TestRunObservedResultIdentical(t *testing.T) {
+	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000}
+	plain := ycsbRun("NO_WAIT", cfg, nil)
+	cfg.SampleEvery = 30_000
+	observed := ycsbRun("NO_WAIT", cfg, &collectObserver{})
+	if !reflect.DeepEqual(plain, observed) {
+		t.Fatalf("observer changed the result:\nplain    %+v\nobserved %+v", plain, observed)
+	}
+}
+
+// TestSamplesPartitionWindow pins the sampler's central invariant: the
+// intervals tile the measurement window exactly, and every in-window
+// commit and abort lands in exactly one sample — so the samples sum to
+// the final Result and their latency histograms merge to Result.Latency.
+func TestSamplesPartitionWindow(t *testing.T) {
+	const (
+		measure = 200_000
+		every   = 30_000 // deliberately not a divisor: the last interval is partial
+	)
+	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: measure, AbortBackoff: 1000, SampleEvery: every}
+	obs := &collectObserver{}
+	res := ycsbRun("NO_WAIT", cfg, obs)
+
+	wantIntervals := (measure + every - 1) / every
+	if len(obs.samples) != wantIntervals {
+		t.Fatalf("got %d samples, want %d", len(obs.samples), wantIntervals)
+	}
+	var commits, aborts uint64
+	var lat core.Result // reuse its Latency field as a merge target
+	for i, s := range obs.samples {
+		if s.Interval != i {
+			t.Fatalf("sample %d has interval %d; samples must arrive in order", i, s.Interval)
+		}
+		wantEnd := uint64(i+1) * every
+		wantWidth := uint64(every)
+		if wantEnd > measure {
+			wantWidth -= wantEnd - measure
+			wantEnd = measure
+		}
+		if s.EndCycle != wantEnd || s.Cycles != wantWidth {
+			t.Fatalf("sample %d covers (end %d, width %d), want (end %d, width %d)", i, s.EndCycle, s.Cycles, wantEnd, wantWidth)
+		}
+		if s.Frequency != 1e9 {
+			t.Fatalf("sample %d frequency = %g, want 1e9", i, s.Frequency)
+		}
+		if s.Latency.Count() != s.Commits {
+			t.Fatalf("sample %d: latency count %d != commits %d", i, s.Latency.Count(), s.Commits)
+		}
+		commits += s.Commits
+		aborts += s.Aborts
+		lat.Latency.Merge(&s.Latency)
+	}
+	if commits != res.Commits || aborts != res.Aborts {
+		t.Fatalf("samples sum to %d commits / %d aborts, result has %d / %d", commits, aborts, res.Commits, res.Aborts)
+	}
+	if lat.Latency != res.Latency {
+		t.Fatalf("merged sample latency %+v != result latency %+v", lat.Latency, res.Latency)
+	}
+	if res.Latency.Count() != res.Commits {
+		t.Fatalf("result latency count %d != commits %d", res.Latency.Count(), res.Commits)
+	}
+}
+
+// TestPerTxnAttribution pins the per-type sub-results on both built-in
+// workloads: names in declaration order, counts summing to the aggregate,
+// and one latency observation per completed transaction.
+func TestPerTxnAttribution(t *testing.T) {
+	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000}
+
+	t.Run("tpcc", func(t *testing.T) {
+		eng := sim.New(8, 7)
+		db := core.NewDB(eng)
+		wl := tpcc.Build(db, tpcc.DefaultConfig(4))
+		res := core.Run(db, bench.MakeScheme("NO_WAIT", tsalloc.Atomic), wl, cfg)
+		assertPerTxnSums(t, res, []string{"Payment", "NewOrder"})
+		for i := range res.PerTxn {
+			if res.PerTxn[i].Commits == 0 {
+				t.Errorf("%s committed nothing", res.PerTxn[i].Name)
+			}
+		}
+	})
+
+	t.Run("ycsb", func(t *testing.T) {
+		res := ycsbRun("MVCC", cfg, nil)
+		assertPerTxnSums(t, res, []string{"ycsb"})
+	})
+}
+
+// assertPerTxnSums checks names and that per-type commits/aborts/latency
+// sum exactly to the aggregate Result.
+func assertPerTxnSums(t *testing.T, res core.Result, wantNames []string) {
+	t.Helper()
+	if len(res.PerTxn) != len(wantNames) {
+		t.Fatalf("PerTxn has %d entries, want %d (%v)", len(res.PerTxn), len(wantNames), wantNames)
+	}
+	var commits, aborts, latCount uint64
+	for i := range res.PerTxn {
+		ts := &res.PerTxn[i]
+		if ts.Name != wantNames[i] {
+			t.Errorf("PerTxn[%d].Name = %q, want %q", i, ts.Name, wantNames[i])
+		}
+		if ts.Latency.Count() != ts.Commits {
+			t.Errorf("%s: latency count %d != commits %d", ts.Name, ts.Latency.Count(), ts.Commits)
+		}
+		commits += ts.Commits
+		aborts += ts.Aborts
+		latCount += ts.Latency.Count()
+	}
+	if commits != res.Commits || aborts != res.Aborts {
+		t.Fatalf("per-txn sums (%d commits, %d aborts) != aggregate (%d, %d)", commits, aborts, res.Commits, res.Aborts)
+	}
+	if latCount != res.Latency.Count() {
+		t.Fatalf("per-txn latency observations %d != aggregate %d", latCount, res.Latency.Count())
+	}
+}

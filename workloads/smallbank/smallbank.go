@@ -215,6 +215,14 @@ func Build(db *abyss.DB, cfg Config) (*Workload, error) {
 // Next implements abyss.Workload.
 func (w *Workload) Next(p abyss.Proc) abyss.Txn { return w.mix.Next(p) }
 
+// TxnTypes implements abyss.TxnTyper: the active procedure names in mix
+// order, so Result.PerTxn attributes commits, aborts and latency to each
+// of the six banking transactions.
+func (w *Workload) TxnTypes() []string { return w.mix.TxnTypes() }
+
+// TxnTypeOf implements abyss.TxnTyper.
+func (w *Workload) TxnTypeOf(t abyss.Txn) int { return w.mix.TxnTypeOf(t) }
+
 // Savings and Checking return the balance tables (for checkers).
 func (w *Workload) Savings() *abyss.Table { return w.savings }
 

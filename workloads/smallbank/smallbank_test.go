@@ -44,6 +44,39 @@ func runSim(t *testing.T, scheme string, cores int, cfg smallbank.Config, rc aby
 	return res, wl
 }
 
+// assertPerTxnConformance checks the per-transaction-type sub-results
+// against the aggregate: one entry per active procedure in mix order,
+// commits and aborts summing exactly to the Result's counts, and one
+// latency observation per completed transaction.
+func assertPerTxnConformance(t *testing.T, res abyss.Result) {
+	t.Helper()
+	if len(res.PerTxn) != len(smallbank.Procedures) {
+		t.Fatalf("PerTxn has %d entries, want %d", len(res.PerTxn), len(smallbank.Procedures))
+	}
+	var commits, aborts, latCount uint64
+	for i := range res.PerTxn {
+		ts := &res.PerTxn[i]
+		if ts.Name != smallbank.Procedures[i] {
+			t.Errorf("PerTxn[%d].Name = %q, want %q", i, ts.Name, smallbank.Procedures[i])
+		}
+		if ts.Latency.Count() != ts.Commits {
+			t.Errorf("%s: latency count %d != commits %d", ts.Name, ts.Latency.Count(), ts.Commits)
+		}
+		if ts.Latency.Max() > res.Latency.Max() {
+			t.Errorf("%s: per-type max latency %d exceeds aggregate max %d", ts.Name, ts.Latency.Max(), res.Latency.Max())
+		}
+		commits += ts.Commits
+		aborts += ts.Aborts
+		latCount += ts.Latency.Count()
+	}
+	if commits != res.Commits || aborts != res.Aborts {
+		t.Fatalf("per-txn sums (%d commits, %d aborts) != aggregate (%d, %d)", commits, aborts, res.Commits, res.Aborts)
+	}
+	if latCount != res.Latency.Count() {
+		t.Fatalf("per-txn latency observations %d != aggregate %d", latCount, res.Latency.Count())
+	}
+}
+
 func TestSmallBankAllSchemesSim(t *testing.T) {
 	rc := abyss.RunConfig{WarmupCycles: 100_000, MeasureCycles: 500_000, AbortBackoff: 500}
 	for _, name := range abyss.PaperSchemes() {
@@ -52,6 +85,7 @@ func TestSmallBankAllSchemesSim(t *testing.T) {
 			if res.Commits == 0 {
 				t.Fatalf("%s committed nothing: %+v", name, res)
 			}
+			assertPerTxnConformance(t, res)
 			t.Logf("%s", res.String())
 		})
 	}
@@ -80,6 +114,7 @@ func TestSmallBankAllSchemesNative(t *testing.T) {
 			if res.Commits == 0 {
 				t.Fatalf("%s committed nothing natively", name)
 			}
+			assertPerTxnConformance(t, res)
 		})
 	}
 }

@@ -257,6 +257,7 @@ func (t *sendPaymentTxn) Partitions() []int { return t.parts }
 
 var (
 	_ abyss.Workload  = (*Workload)(nil)
+	_ abyss.TxnTyper  = (*Workload)(nil)
 	_ abyss.Txn       = (*balanceTxn)(nil)
 	_ abyss.Txn       = (*depositCheckingTxn)(nil)
 	_ abyss.Txn       = (*transactSavingsTxn)(nil)
