@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"abyss1000/internal/core"
 	"abyss1000/internal/index"
@@ -13,6 +14,7 @@ import (
 	"abyss1000/internal/stats"
 	"abyss1000/internal/storage"
 	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/wal"
 )
 
 // The engine types that flow through the public API. They are aliases, not
@@ -154,6 +156,13 @@ type Options struct {
 	// simulated placement). Two sim DBs opened with equal Options produce
 	// byte-identical results for equal work.
 	Seed int64
+
+	// Durability, when non-nil, attaches a write-ahead log: every commit
+	// appends its after-images, DB.Checkpoint snapshots tables, and
+	// DB.Recover replays a (possibly torn) stream back to the durable
+	// committed state. Nil means no logging and a commit path identical
+	// to a non-durable build. See the Durability type in durability.go.
+	Durability *Durability
 }
 
 // DB is an embeddable database instance: a runtime, a catalog of tables
@@ -168,6 +177,13 @@ type DB struct {
 	tables  map[string]*Table
 	indexes map[string]*Index
 	ran     bool
+
+	// Durability state: the log writer and its sink (nil without
+	// Options.Durability), and the scheme of the DB's Run, kept so
+	// StateDump can ask it for committed images (MVCC).
+	wal        *wal.Writer
+	logSink    LogSink
+	lastScheme Scheme
 }
 
 // Open validates opts and creates an empty database on the selected
@@ -188,13 +204,17 @@ func Open(opts Options) (*DB, error) {
 	default:
 		return nil, fmt.Errorf("abyss: unknown runtime %q (valid: %s)", opts.Runtime, joinNames(Runtimes()))
 	}
-	return &DB{
+	db := &DB{
 		opts:    opts,
 		rt:      r,
 		inner:   core.NewDB(r),
 		tables:  make(map[string]*Table),
 		indexes: make(map[string]*Index),
-	}, nil
+	}
+	if opts.Durability != nil {
+		db.attachWAL(opts.Durability)
+	}
+	return db, nil
 }
 
 // Options returns the options the DB was opened with (with defaults
@@ -347,6 +367,16 @@ type RunConfig struct {
 	// a buffered channel instead of implementing an Observer. Setting
 	// an Observer requires a positive SampleEvery.
 	Observer Observer
+
+	// LogGroupTxns overrides the write-ahead log's group-commit size for
+	// this run (records per modeled fsync in accounting-only mode). Zero
+	// keeps the Durability setting. Ignored without Options.Durability.
+	LogGroupTxns int
+
+	// LogGroupTimeout overrides the async group-commit window for this
+	// run. Zero keeps the Durability setting. Ignored without
+	// Options.Durability.
+	LogGroupTimeout time.Duration
 }
 
 // DefaultRunConfig returns a window sized for quick experiments on this
@@ -406,6 +436,10 @@ func (db *DB) runMeasured(scheme Scheme, wl Workload, cfg RunConfig) (res Result
 			err = fmt.Errorf("abyss: run failed: %v", r)
 		}
 	}()
+	if db.wal != nil {
+		db.wal.SetGrouping(cfg.LogGroupTxns, cfg.LogGroupTimeout)
+	}
+	db.lastScheme = scheme
 	res = core.RunObserved(db.inner, scheme, wl, core.Config{
 		WarmupCycles:  cfg.WarmupCycles,
 		MeasureCycles: cfg.MeasureCycles,

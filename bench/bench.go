@@ -61,6 +61,14 @@ type Params struct {
 	// Seed makes every experiment deterministic. Every enumerated Job
 	// carries this seed; the engines derive per-core streams from it.
 	Seed int64 `json:"seed"`
+
+	// LogAccounting attaches an accounting-only write-ahead log to every
+	// engine-backed job (see Job.LogAccounting). The schedule is
+	// unchanged, so commits/aborts/throughput are byte-identical to a run
+	// without it; only breakdown fractions shift, to show the Log
+	// component's share. omitempty keeps existing report metadata
+	// byte-identical when the flag is off.
+	LogAccounting bool `json:"log_accounting,omitempty"`
 }
 
 // Quick returns parameters that run the full suite in a few minutes.

@@ -8,6 +8,7 @@ import (
 	"abyss1000/internal/sim"
 	"abyss1000/internal/stats"
 	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/wal"
 	"abyss1000/internal/workload/tpcc"
 	"abyss1000/internal/workload/ycsb"
 )
@@ -34,11 +35,31 @@ func GoldenSignature() string {
 // GoldenSignature() — the observer-determinism regression test pins
 // exactly that.
 func GoldenSignatureObserved(every uint64, obs core.Observer) string {
+	return goldenSignature(every, obs, false)
+}
+
+// GoldenSignatureDurable is GoldenSignature with an accounting-only
+// write-ahead log (in-memory sink, synchronous group commit) attached to
+// every run. The sim WAL path never advances the simulated clock — it
+// only bills the Log breakdown bucket, which the signature excludes — so
+// the returned string must be byte-identical to GoldenSignature(); the
+// walprop durability tests pin exactly that.
+func GoldenSignatureDurable() string {
+	return goldenSignature(0, nil, true)
+}
+
+func goldenSignature(every uint64, obs core.Observer, durable bool) string {
 	var b strings.Builder
 	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000, SampleEvery: every}
+	attach := func(db *core.DB) {
+		if durable {
+			db.Wal = wal.NewWriter(wal.NewMemSink(), wal.Config{})
+		}
+	}
 	for _, scheme := range []string{"DL_DETECT", "NO_WAIT", "WAIT_DIE", "TIMESTAMP", "MVCC", "OCC", "HSTORE"} {
 		eng := sim.New(16, 42)
 		db := core.NewDB(eng)
+		attach(db)
 		ycfg := ycsb.DefaultConfig()
 		ycfg.Rows = 4096
 		ycfg.ReqPerTxn = 8
@@ -53,6 +74,7 @@ func GoldenSignatureObserved(every uint64, obs core.Observer) string {
 	for _, scheme := range []string{"DL_DETECT", "NO_WAIT", "TIMESTAMP", "MVCC"} {
 		eng := sim.New(8, 7)
 		db := core.NewDB(eng)
+		attach(db)
 		wl := tpcc.Build(db, tpcc.DefaultConfig(4))
 		writeSig(&b, "tpcc/"+scheme, core.RunObserved(db, MakeScheme(scheme, tsalloc.Atomic), wl, cfg, obs))
 	}
@@ -61,7 +83,11 @@ func GoldenSignatureObserved(every uint64, obs core.Observer) string {
 
 func writeSig(b *strings.Builder, label string, r core.Result) {
 	fmt.Fprintf(b, "%s commits=%d aborts=%d tuples=%d", label, r.Commits, r.Aborts, r.Tuples)
-	for c := stats.Component(0); c < stats.NumComponents; c++ {
+	// Only the paper's six components are part of the signature: the Log
+	// extension is accounting-only by construction (it never advances the
+	// simulated clock), so the signature must stay byte-identical whether
+	// durability logging is off or on — walprop tests pin exactly that.
+	for c := stats.Component(0); c < stats.NumPaperComponents; c++ {
 		fmt.Fprintf(b, " %s=%d", c, r.Breakdown.Get(c))
 	}
 	b.WriteByte('\n')

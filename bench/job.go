@@ -10,6 +10,7 @@ import (
 	"abyss1000/internal/rt"
 	"abyss1000/internal/sim"
 	"abyss1000/internal/tsalloc"
+	"abyss1000/internal/wal"
 	"abyss1000/internal/workload/tpcc"
 	"abyss1000/internal/workload/ycsb"
 )
@@ -70,6 +71,13 @@ type Job struct {
 	// allocator (the §4.1 malloc ablation).
 	GlobalMalloc bool
 
+	// LogAccounting attaches an accounting-only write-ahead log (in-memory
+	// sink, synchronous group commit) to the run: commit records are
+	// encoded and logged and the Log breakdown component is billed, but the
+	// simulated schedule — and therefore every other result field — is
+	// unchanged.
+	LogAccounting bool
+
 	// Exclusive marks jobs that must not run concurrently with any
 	// other job (native wall-clock runs). The Runner executes them one
 	// at a time after the parallel jobs drain.
@@ -128,21 +136,31 @@ func (j Job) RunSampled(every uint64, obs core.Observer) core.Result {
 	case JobNativeYCSB:
 		eng := native.New(j.Cores, j.Seed)
 		db := core.NewDB(eng)
+		j.attachLog(db)
 		wl := ycsb.Build(db, j.YCSB)
 		return core.RunObserved(db, j.scheme(), wl, cfg, obs)
 	case JobTPCC:
 		eng := sim.New(j.Cores, j.Seed)
 		db := core.NewDB(eng)
+		j.attachLog(db)
 		wl := tpcc.Build(db, j.TPCC)
 		return core.RunObserved(db, j.scheme(), wl, cfg, obs)
 	default: // JobYCSB
 		eng := sim.New(j.Cores, j.Seed)
 		db := core.NewDB(eng)
+		j.attachLog(db)
 		if j.GlobalMalloc {
 			db.GlobalAlloc = mem.NewGlobalPool(eng)
 		}
 		wl := ycsb.Build(db, j.YCSB)
 		return core.RunObserved(db, j.scheme(), wl, cfg, obs)
+	}
+}
+
+// attachLog hangs the accounting-only WAL on db when the job asks for it.
+func (j Job) attachLog(db *core.DB) {
+	if j.LogAccounting {
+		db.Wal = wal.NewWriter(wal.NewMemSink(), wal.Config{})
 	}
 }
 
@@ -175,26 +193,28 @@ func (j Job) runTsAlloc() core.Result {
 // ycsbJob describes one simulated YCSB point at this run's scale.
 func (p Params) ycsbJob(scheme string, m tsalloc.Method, cores int, ycfg ycsb.Config) Job {
 	return Job{
-		Kind:     JobYCSB,
-		Cores:    cores,
-		Seed:     p.Seed,
-		Scheme:   scheme,
-		TsMethod: m,
-		Cfg:      p.coreConfig(),
-		YCSB:     ycfg,
+		Kind:          JobYCSB,
+		Cores:         cores,
+		Seed:          p.Seed,
+		Scheme:        scheme,
+		TsMethod:      m,
+		LogAccounting: p.LogAccounting,
+		Cfg:           p.coreConfig(),
+		YCSB:          ycfg,
 	}
 }
 
 // tpccJob describes one simulated TPC-C point at this run's scale.
 func (p Params) tpccJob(scheme string, cores int, tcfg tpcc.Config) Job {
 	return Job{
-		Kind:     JobTPCC,
-		Cores:    cores,
-		Seed:     p.Seed,
-		Scheme:   scheme,
-		TsMethod: tsalloc.Atomic,
-		Cfg:      p.coreConfig(),
-		TPCC:     tcfg,
+		Kind:          JobTPCC,
+		Cores:         cores,
+		Seed:          p.Seed,
+		Scheme:        scheme,
+		TsMethod:      tsalloc.Atomic,
+		LogAccounting: p.LogAccounting,
+		Cfg:           p.coreConfig(),
+		TPCC:          tcfg,
 	}
 }
 
@@ -209,6 +229,7 @@ func (p Params) timeoutJob(timeout uint64, disableDetect bool, cores int, ycfg y
 		UseTimeout:    true,
 		Timeout:       timeout,
 		DisableDetect: disableDetect,
+		LogAccounting: p.LogAccounting,
 		Cfg:           p.coreConfig(),
 		YCSB:          ycfg,
 	}
@@ -218,12 +239,13 @@ func (p Params) timeoutJob(timeout uint64, disableDetect bool, cores int, ycfg y
 // wall-clock nanoseconds and it runs exclusively.
 func (p Params) nativeJob(scheme string, cores int, ycfg ycsb.Config) Job {
 	return Job{
-		Kind:      JobNativeYCSB,
-		Cores:     cores,
-		Seed:      p.Seed,
-		Scheme:    scheme,
-		TsMethod:  tsalloc.Atomic,
-		Exclusive: true,
+		Kind:          JobNativeYCSB,
+		Cores:         cores,
+		Seed:          p.Seed,
+		Scheme:        scheme,
+		TsMethod:      tsalloc.Atomic,
+		LogAccounting: p.LogAccounting,
+		Exclusive:     true,
 		Cfg: core.Config{
 			WarmupCycles:  p.NativeWarmupNS,
 			MeasureCycles: p.NativeMeasureNS,

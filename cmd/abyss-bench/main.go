@@ -54,6 +54,7 @@ func main() {
 		csvOut   = flag.Bool("csv", false, "emit every data point as a CSV row on stdout (suppresses figure text)")
 		quiet    = flag.Bool("quiet", false, "suppress progress reporting on stderr")
 		sample   = flag.Uint64("sample", 0, "run every data point with interval sampling enabled at this cycle period (accounting-only: output is byte-identical to an unsampled run; 0 disables)")
+		logAcc   = flag.Bool("log", false, "attach an accounting-only write-ahead log to every data point: throughput/abort series stay byte-identical to an unlogged run (the schedule is unchanged); breakdown tables gain the Log component's share")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the experiment run to `file`")
 		memProf  = flag.String("memprofile", "", "write a heap profile to `file` at exit")
 	)
@@ -75,6 +76,7 @@ func main() {
 		scale = "full"
 	}
 	params.Seed = *seed
+	params.LogAccounting = *logAcc
 	if *cores > 0 {
 		params.MaxCores = *cores
 		scale = "custom"

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"abyss1000/abyss"
@@ -62,6 +63,15 @@ func main() {
 		// Observability knobs.
 		interval = flag.Uint64("interval", 0, "print a live throughput/abort/latency line every N cycles of the measurement window (0 disables)")
 		hist     = flag.Bool("hist", false, "dump the commit-latency histogram and per-transaction-type results after the run")
+
+		// Durability knobs.
+		walDest    = flag.String("wal", "", "write-ahead log destination: 'mem' or a file path (empty disables durability)")
+		walGroup   = flag.Int("wal-group", 0, "group-commit size in records per fsync (0 keeps the default)")
+		walAsync   = flag.Bool("wal-async", false, "real background group commit with durability waits (meant for -runtime native; default is accounting-only logging)")
+		crashAfter = flag.Int64("crash-after", -1, "inject a crash: tear the log at this byte offset and fail it thereafter (negative disables)")
+		doRecover  = flag.Bool("recover", false, "after the run, replay the log onto a fresh DB and verify the recovered state")
+		doCkpt     = flag.Bool("checkpoint", false, "append a checkpoint to the log after the run (recovery then starts from it)")
+		dumpPath   = flag.String("dump", "", "write the committed-state dump to this file ('-' for stdout)")
 	)
 	flag.Parse()
 
@@ -79,7 +89,39 @@ func main() {
 		*warmup, *measure = 5_000_000, 50_000_000 // sensible wall-clock window
 	}
 
-	db, err := abyss.Open(abyss.Options{Runtime: *runtimeSel, Cores: *cores, Seed: *seed})
+	// Durability setup: pick the sink, optionally wrapped with a byte-
+	// offset fault point that tears the stream like a machine crash.
+	var (
+		dur     *abyss.Durability
+		memSink *abyss.MemLogSink
+		walPath string
+	)
+	if *crashAfter >= 0 && *walDest == "" {
+		fail(fmt.Errorf("abyss-sim: -crash-after needs -wal"))
+	}
+	if (*doRecover || *doCkpt) && *walDest == "" {
+		fail(fmt.Errorf("abyss-sim: -recover and -checkpoint need -wal"))
+	}
+	if *walDest != "" {
+		var sink abyss.LogSink
+		if *walDest == "mem" {
+			memSink = abyss.NewMemLogSink()
+			sink = memSink
+		} else {
+			walPath = *walDest
+			fs, err := abyss.CreateLogFile(walPath)
+			if err != nil {
+				fail(err)
+			}
+			sink = fs
+		}
+		if *crashAfter >= 0 {
+			sink = abyss.NewFaultLogSink(sink, *crashAfter)
+		}
+		dur = &abyss.Durability{Sink: sink, Async: *walAsync, GroupTxns: *walGroup}
+	}
+
+	db, err := abyss.Open(abyss.Options{Runtime: *runtimeSel, Cores: *cores, Seed: *seed, Durability: dur})
 	if err != nil {
 		fail(err)
 	}
@@ -161,13 +203,15 @@ func main() {
 		SampleEvery:   *interval,
 	}
 
+	rc.LogGroupTxns = *walGroup
+
 	var res abyss.Result
 	if *interval > 0 {
 		samples, wait := db.RunStream(scheme, wl, rc)
-		for s := range samples {
-			fmt.Printf("[%*d/%d] %12.0f txn/s  abort %5.1f%%  p50 %6d  p99 %8d cyc\n",
-				len(fmt.Sprint(*measure)), s.EndCycle, *measure,
-				s.Throughput(), s.AbortFraction()*100, s.Latency.P50(), s.Latency.P99())
+		if streamSamples(samples, *measure) {
+			// Interrupted: partial results were printed; exit non-zero so
+			// scripts can tell a cut-short run from a completed one.
+			os.Exit(130)
 		}
 		res, err = wait()
 	} else {
@@ -179,6 +223,137 @@ func main() {
 	fmt.Println(res.String())
 	if *hist {
 		printHistogram(&res)
+	}
+
+	if db.Durable() {
+		if *doCkpt {
+			if err := db.Checkpoint(); err != nil && *crashAfter < 0 {
+				fail(fmt.Errorf("abyss-sim: checkpoint: %w", err))
+			}
+		}
+		if err := db.CloseLog(); err != nil && *crashAfter < 0 {
+			fail(fmt.Errorf("abyss-sim: closing log: %w", err))
+		}
+		records, bytes, syncs := db.LogStats()
+		fmt.Printf("wal: %d records, %d bytes, %d syncs", records, bytes, syncs)
+		if err := db.LogErr(); err != nil {
+			fmt.Printf("  [log died: %v]", err)
+		}
+		fmt.Println()
+	}
+	if *dumpPath != "" {
+		writeDump(*dumpPath, db.StateDump())
+	}
+	if *doRecover {
+		stream := logStream(memSink, walPath)
+		runRecovery(db, stream, *runtimeSel, *cores, *seed, *workload, params, *crashAfter >= 0)
+	}
+}
+
+// streamSamples prints live per-interval lines until the channel closes
+// or the user interrupts. On SIGINT it drains whatever samples are
+// already buffered, prints a partial summary from them, and reports true.
+func streamSamples(samples <-chan abyss.Sample, measure uint64) (interrupted bool) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	defer signal.Stop(sig)
+	var (
+		commits, aborts, cycles uint64
+		lat                     abyss.Histogram
+	)
+	printLine := func(s abyss.Sample) {
+		commits += s.Commits
+		aborts += s.Aborts
+		cycles = s.EndCycle
+		lat.Merge(&s.Latency)
+		fmt.Printf("[%*d/%d] %12.0f txn/s  abort %5.1f%%  p50 %6d  p99 %8d cyc\n",
+			len(fmt.Sprint(measure)), s.EndCycle, measure,
+			s.Throughput(), s.AbortFraction()*100, s.Latency.P50(), s.Latency.P99())
+	}
+	for {
+		select {
+		case s, ok := <-samples:
+			if !ok {
+				return false
+			}
+			printLine(s)
+		case <-sig:
+			// Drain the buffered samples (the channel holds the whole
+			// run, so this never blocks on the measurement).
+			for {
+				select {
+				case s, ok := <-samples:
+					if !ok {
+						goto done
+					}
+					printLine(s)
+				default:
+					goto done
+				}
+			}
+		done:
+			total := commits + aborts
+			abortPct := 0.0
+			if total > 0 {
+				abortPct = 100 * float64(aborts) / float64(total)
+			}
+			fmt.Printf("\ninterrupted at %d/%d cycles: %d commits, %d aborts (%.1f%%), p50 %d, p99 %d cyc (partial)\n",
+				cycles, measure, commits, aborts, abortPct, lat.P50(), lat.P99())
+			return true
+		}
+	}
+}
+
+// logStream returns the captured WAL bytes: the memory sink's buffer, or
+// the log file's contents.
+func logStream(memSink *abyss.MemLogSink, walPath string) []byte {
+	if memSink != nil {
+		return memSink.Bytes()
+	}
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		fail(fmt.Errorf("abyss-sim: reading log back: %w", err))
+	}
+	return data
+}
+
+// runRecovery replays stream onto a freshly built copy of the workload's
+// database and verifies the recovered state: with an intact log it must
+// equal the live DB's committed state exactly; with an injected crash the
+// recovered state is the durable prefix (a mismatch with the live state
+// is then expected, and only the replay itself must succeed).
+func runRecovery(live *abyss.DB, stream []byte, runtimeSel string, cores int, seed int64, workload string, params abyss.WorkloadParams, crashed bool) {
+	fresh, err := abyss.Open(abyss.Options{Runtime: runtimeSel, Cores: cores, Seed: seed})
+	if err != nil {
+		fail(err)
+	}
+	if _, err := fresh.BuildWorkload(workload, params); err != nil {
+		fail(err)
+	}
+	info, err := fresh.Recover(stream)
+	if err != nil {
+		fail(fmt.Errorf("abyss-sim: recovery failed: %w", err))
+	}
+	fmt.Printf("recovered: %d records (%d torn bytes dropped), checkpoint %d, %d commits, %d updates, %d inserts\n",
+		info.Records, info.TornBytes, info.Checkpoint, info.Commits, info.Updates, info.Inserts)
+	if crashed {
+		fmt.Println("recovery OK (crash injected: recovered the durable prefix)")
+		return
+	}
+	if fresh.StateDump() != live.StateDump() {
+		fail(fmt.Errorf("abyss-sim: recovered state DIVERGES from the live committed state"))
+	}
+	fmt.Println("recovery VERIFIED: recovered state equals the live committed state")
+}
+
+// writeDump writes the committed-state dump to path ('-' for stdout).
+func writeDump(path, dump string) {
+	if path == "-" {
+		fmt.Print(dump)
+		return
+	}
+	if err := os.WriteFile(path, []byte(dump), 0o644); err != nil {
+		fail(fmt.Errorf("abyss-sim: writing dump: %w", err))
 	}
 }
 

@@ -193,6 +193,9 @@ func (s *HStore) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, 
 // Commit implements core.Scheme: release partitions.
 func (s *HStore) Commit(tx *core.TxnCtx) error {
 	st := tx.State.(*txnState)
+	// Commit point: log while the partitions are still locked, so log
+	// order matches partition-lock order.
+	tx.LogCommit()
 	for _, pid := range st.held {
 		s.unlockPartition(tx, pid)
 	}

@@ -389,6 +389,9 @@ func (s *MVCC) prune(e *entry, watermark uint64, wid, tid int) {
 // Commit implements core.Scheme: finalize pending versions.
 func (s *MVCC) Commit(tx *core.TxnCtx) error {
 	st := tx.State.(*txnState)
+	// Commit point: like TIMESTAMP, the version order is the timestamp
+	// order, carried in the record's replay version.
+	tx.LogCommit()
 	for _, pr := range st.pending {
 		e := s.entryOf(pr.t, pr.slot)
 		e.latch.Acquire(tx.P, stats.Manager)
@@ -460,4 +463,11 @@ func (s *MVCC) LatestCommitted(t *storage.Table, slot int) []byte {
 	return t.Row(slot)
 }
 
-var _ core.Scheme = (*MVCC)(nil)
+// TSOrderedCommits marks MVCC for the WAL: the newest committed version
+// is the highest write timestamp, so commit records replay by version.
+func (s *MVCC) TSOrderedCommits() {}
+
+var (
+	_ core.Scheme          = (*MVCC)(nil)
+	_ core.TSOrderedScheme = (*MVCC)(nil)
+)

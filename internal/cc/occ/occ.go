@@ -270,6 +270,10 @@ func (s *OCC) Commit(tx *core.TxnCtx) error {
 		return core.ErrAbort
 	}
 
+	// Commit point: validation succeeded and the write set is still
+	// latched, so the log sees commits in validation order.
+	tx.LogCommit()
+
 	// Phase 3: the second timestamp allocation (the paper charges OCC
 	// two per transaction), then install.
 	commitTS := s.alloc.Next(tx.P)

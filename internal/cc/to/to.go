@@ -222,6 +222,11 @@ func (s *TO) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, erro
 // wait for earlier pending writers on the same tuples.
 func (s *TO) Commit(tx *core.TxnCtx) error {
 	st := tx.State.(*txnState)
+	// Commit point: under T/O the serialization order IS the timestamp
+	// order, so the record (which carries tx.TS as its replay version)
+	// can be appended before the installs below; replay keeps the
+	// highest-timestamp image per slot regardless of append interleaving.
+	tx.LogCommit()
 	for i := range st.writes {
 		w := &st.writes[i]
 		e := s.entry(w.t, w.slot)
@@ -281,4 +286,11 @@ func (s *TO) InitTuple(tx *core.TxnCtx, t *storage.Table, slot int) {
 	e.wts = tx.TS
 }
 
-var _ core.Scheme = (*TO)(nil)
+// TSOrderedCommits marks T/O for the WAL: same-slot outcomes follow
+// timestamp order, so commit records replay by version, not log position.
+func (s *TO) TSOrderedCommits() {}
+
+var (
+	_ core.Scheme          = (*TO)(nil)
+	_ core.TSOrderedScheme = (*TO)(nil)
+)

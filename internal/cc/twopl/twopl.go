@@ -608,6 +608,9 @@ func (s *TwoPL) releaseAll(tx *core.TxnCtx, st *txnState) {
 // Commit implements core.Scheme: strict 2PL just releases.
 func (s *TwoPL) Commit(tx *core.TxnCtx) error {
 	st := tx.State.(*txnState)
+	// Commit point: the log record is appended while the write locks are
+	// still held, so log order is consistent with lock order.
+	tx.LogCommit()
 	s.releaseAll(tx, st)
 	st.undo = st.undo[:0]
 	return nil

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"errors"
+
+	"abyss1000/internal/wal"
+)
+
+// Checkpoint chunk sizes: rows per TypeCkptRows record and entries per
+// TypeCkptIndex record. Small enough that a torn checkpoint wastes little,
+// large enough that framing overhead is noise.
+const (
+	ckptRowChunk   = 256
+	ckptIndexChunk = 1024
+)
+
+// ErrNoWAL is returned by Checkpoint and recovery helpers when the DB has
+// no attached log.
+var ErrNoWAL = errors.New("core: no WAL attached to this DB")
+
+// Checkpoint appends a quiesced snapshot of every table — setup rows,
+// runtime-inserted rows, per-worker allocation cursors, and the indexes'
+// runtime-inserted entries — to the attached WAL and flushes it. The
+// caller must guarantee quiescence (no run in progress); the engine only
+// checkpoints between runs. Recovery starts replay at the last complete
+// Begin/End pair, so commits logged before it stop being needed; a crash
+// mid-checkpoint leaves an incomplete pair that recovery ignores,
+// falling back to the previous checkpoint (or the stream start).
+//
+// scheme is the scheme of the preceding run (nil if none): schemes whose
+// committed state lives outside the table slab (CommittedRower — MVCC's
+// version chains) have their committed images snapshotted, not the slab.
+func Checkpoint(db *DB, scheme Scheme) error {
+	w := db.Wal
+	if w == nil {
+		return ErrNoWAL
+	}
+	var cr CommittedRower
+	if scheme != nil {
+		cr, _ = scheme.(CommittedRower)
+	}
+	db.walEpoch++
+	id := db.walEpoch
+	w.Append(wal.AppendCkptBegin(nil, id))
+	var buf, rowBuf []byte
+	for _, t := range db.Catalog.Tables() {
+		rs := t.Schema.RowSize()
+		chunk := func(start, n int) []byte {
+			if cr == nil {
+				return t.Rows(start, n)
+			}
+			rowBuf = rowBuf[:0]
+			for s := start; s < start+n; s++ {
+				img := cr.LatestCommitted(t, s)
+				if img == nil {
+					img = t.Row(s)
+				}
+				rowBuf = append(rowBuf, img...)
+			}
+			return rowBuf
+		}
+		emit := func(start, end int) {
+			for s := start; s < end; s += ckptRowChunk {
+				n := end - s
+				if n > ckptRowChunk {
+					n = ckptRowChunk
+				}
+				buf = wal.AppendCkptRows(buf[:0], &wal.CkptRows{
+					Table: t.ID, Start: s, Count: n, RowSize: rs, Rows: chunk(s, n),
+				})
+				w.Append(buf)
+			}
+		}
+		emit(0, t.Loaded())
+		alloc := wal.CkptAlloc{Table: t.ID, Next: make([]int, t.NumSegs())}
+		for seg := 0; seg < t.NumSegs(); seg++ {
+			start, next := t.SegRange(seg)
+			emit(start, next)
+			alloc.Next[seg] = next
+		}
+		buf = wal.AppendCkptAlloc(buf[:0], &alloc)
+		w.Append(buf)
+	}
+	for ord, h := range db.indexOrder {
+		loaded := h.Table().Loaded()
+		var entries []wal.CkptIndexEntry
+		flush := func() {
+			if len(entries) == 0 {
+				return
+			}
+			buf = wal.AppendCkptIndex(buf[:0], &wal.CkptIndex{Index: ord, Entries: entries})
+			w.Append(buf)
+			entries = entries[:0]
+		}
+		h.Range(func(key uint64, slot int) {
+			// Setup-time entries are rebuilt by workload setup before
+			// recovery; only runtime inserts (slots past the loaded
+			// prefix) need to be in the log.
+			if slot >= loaded {
+				entries = append(entries, wal.CkptIndexEntry{Key: key, Slot: slot})
+				if len(entries) >= ckptIndexChunk {
+					flush()
+				}
+			}
+		})
+		flush()
+	}
+	w.Append(wal.AppendCkptEnd(nil, id))
+	return w.Flush()
+}

@@ -15,6 +15,7 @@ import (
 	"abyss1000/internal/mem"
 	"abyss1000/internal/rt"
 	"abyss1000/internal/storage"
+	"abyss1000/internal/wal"
 )
 
 // ErrAbort is returned by scheme operations when the transaction must be
@@ -35,6 +36,13 @@ type DB struct {
 	Catalog *storage.Catalog
 	indexes map[string]*index.Hash
 
+	// indexOrder holds the indexes in registration order; the position is
+	// the ordinal WAL records use, so recovery maps ordinals back to
+	// indexes as long as setup registers them in the same order (it does:
+	// workload setup is deterministic).
+	indexOrder []*index.Hash
+	indexOrd   map[*index.Hash]int
+
 	// NParts is the number of H-STORE partitions (always the worker
 	// count, as in the paper's experiments).
 	NParts int
@@ -42,15 +50,27 @@ type DB struct {
 	// GlobalAlloc, when non-nil, replaces the per-worker arenas with the
 	// centralized allocator (the §4.1 malloc ablation).
 	GlobalAlloc *mem.GlobalPool
+
+	// Wal, when non-nil, is the attached write-ahead log: every commit
+	// appends its after-images and recovery replays them. Nil means
+	// durability is off and the commit path is exactly the pre-durability
+	// one (the nil check is the only overhead).
+	Wal *wal.Writer
+
+	// walEpoch counts measurement runs on this DB; an epoch record opens
+	// each run's log span so replay resets its version floors when a new
+	// run restarts timestamp allocation.
+	walEpoch uint64
 }
 
 // NewDB creates an empty database on r.
 func NewDB(r rt.Runtime) *DB {
 	return &DB{
-		RT:      r,
-		Catalog: storage.NewCatalog(),
-		indexes: make(map[string]*index.Hash),
-		NParts:  r.NumProcs(),
+		RT:       r,
+		Catalog:  storage.NewCatalog(),
+		indexes:  make(map[string]*index.Hash),
+		indexOrd: make(map[*index.Hash]int),
+		NParts:   r.NumProcs(),
 	}
 }
 
@@ -58,8 +78,13 @@ func NewDB(r rt.Runtime) *DB {
 func (db *DB) AddIndex(name string, t *storage.Table, minBuckets int) *index.Hash {
 	h := index.New(db.RT, t, minBuckets)
 	db.indexes[name] = h
+	db.indexOrd[h] = len(db.indexOrder)
+	db.indexOrder = append(db.indexOrder, h)
 	return h
 }
+
+// Indexes returns the registered indexes in ordinal (registration) order.
+func (db *DB) Indexes() []*index.Hash { return db.indexOrder }
 
 // Index returns the named index, or panics (missing indexes are
 // programming errors in workload definitions).

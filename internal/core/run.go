@@ -6,6 +6,7 @@ import (
 
 	"abyss1000/internal/rt"
 	"abyss1000/internal/stats"
+	"abyss1000/internal/wal"
 )
 
 // Config controls one experiment run.
@@ -148,6 +149,13 @@ func RunObserved(db *DB, scheme Scheme, wl Workload, cfg Config, obs Observer) R
 		panic(err)
 	}
 	scheme.Setup(db)
+	if db.Wal != nil {
+		// Open the run's log span. Replay resets its timestamp version
+		// floors at the epoch boundary, because this run's transactions
+		// draw from a fresh timestamp allocator.
+		db.walEpoch++
+		db.Wal.Append(wal.AppendEpoch(nil, db.walEpoch))
+	}
 	n := db.RT.NumProcs()
 	var smp *sampler
 	if obs != nil && cfg.SampleEvery > 0 {

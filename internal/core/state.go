@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"abyss1000/internal/storage"
+)
+
+// CommittedRower is implemented by schemes whose latest committed row
+// image is not the table slab's bytes (MVCC keeps current state in its
+// version chains). DumpState consults it when present; for every other
+// scheme the live row IS the committed image on a quiescent database.
+type CommittedRower interface {
+	LatestCommitted(t *storage.Table, slot int) []byte
+}
+
+// DumpState serializes db's committed user-visible state — every
+// populated row of every table (setup rows plus runtime inserts),
+// per-worker allocation cursors, and the indexes' runtime-inserted
+// entries — into a deterministic text form. Two databases with equal
+// dumps hold identical committed states; the crash harness compares a
+// recovered database against the original this way. scheme may be nil
+// (e.g. for a freshly recovered database, where the slab is the state).
+//
+// Quiesced use only: it reads rows and walks indexes with no latches.
+func DumpState(db *DB, scheme Scheme) string {
+	var cr CommittedRower
+	if scheme != nil {
+		cr, _ = scheme.(CommittedRower)
+	}
+	row := func(t *storage.Table, slot int) []byte {
+		if cr != nil {
+			if img := cr.LatestCommitted(t, slot); img != nil {
+				return img
+			}
+		}
+		return t.Row(slot)
+	}
+	var b strings.Builder
+	for _, t := range db.Catalog.Tables() {
+		fmt.Fprintf(&b, "table %d %s loaded=%d\n", t.ID, t.Schema.Name, t.Loaded())
+		dump := func(slot int) {
+			fmt.Fprintf(&b, "  %d %x\n", slot, row(t, slot))
+		}
+		for s := 0; s < t.Loaded(); s++ {
+			dump(s)
+		}
+		for seg := 0; seg < t.NumSegs(); seg++ {
+			start, next := t.SegRange(seg)
+			fmt.Fprintf(&b, " seg %d next=%d\n", seg, next)
+			for s := start; s < next; s++ {
+				dump(s)
+			}
+		}
+	}
+	for ord, h := range db.indexOrder {
+		loaded := h.Table().Loaded()
+		var entries []struct{ key, slot uint64 }
+		h.Range(func(key uint64, slot int) {
+			if slot >= loaded {
+				entries = append(entries, struct{ key, slot uint64 }{key, uint64(slot)})
+			}
+		})
+		// Live insertion order (worker interleaving) and replay order
+		// (log order) place equal entry sets in different buckets slots;
+		// sort so the dump depends only on the set.
+		sort.Slice(entries, func(i, j int) bool {
+			if entries[i].key != entries[j].key {
+				return entries[i].key < entries[j].key
+			}
+			return entries[i].slot < entries[j].slot
+		})
+		fmt.Fprintf(&b, "index %d\n", ord)
+		for _, e := range entries {
+			fmt.Fprintf(&b, "  %d -> %d\n", e.key, e.slot)
+		}
+	}
+	return b.String()
+}

@@ -7,6 +7,7 @@ import (
 	"abyss1000/internal/rt"
 	"abyss1000/internal/stats"
 	"abyss1000/internal/storage"
+	"abyss1000/internal/wal"
 )
 
 // Scheme is the pluggable concurrency-control interface (§3.2: "a pluggable
@@ -67,6 +68,28 @@ type insertRec struct {
 	part int
 }
 
+// walWrite is one captured write target for the commit record: buf is the
+// scheme's write buffer for (t, slot), which holds the final after-image
+// by the time the scheme reaches its commit point (in-place row under 2PL
+// and H-STORE, private workspace under T/O and OCC, pending version under
+// MVCC) — so LogCommit reads images without knowing the scheme.
+type walWrite struct {
+	t    *storage.Table
+	slot int
+	buf  []byte
+}
+
+// TSOrderedScheme marks schemes whose same-slot final value is decided by
+// transaction timestamp rather than by the order commits reach their
+// commit point (TIMESTAMP, MVCC). Their commit records carry the
+// transaction timestamp as the replay version so recovery keeps the
+// highest-timestamp image regardless of log order. WAIT_DIE is NOT one of
+// these: it uses timestamps only to pick abort victims; lock order still
+// decides values.
+type TSOrderedScheme interface {
+	TSOrderedCommits()
+}
+
 // TxnCtx is the per-worker transaction context handed to Txn.Run. It is
 // reused across transactions to avoid allocation churn.
 type TxnCtx struct {
@@ -90,12 +113,21 @@ type TxnCtx struct {
 
 	inserts []insertRec
 	tuples  uint64
+
+	// walWrites collects write targets while the WAL is attached; logged
+	// flips when the commit record has been appended (schemes call
+	// LogCommit at their commit point; the worker's post-Commit call is a
+	// no-op fallback for schemes without a hook).
+	walWrites []walWrite
+	logged    bool
 }
 
 func (tx *TxnCtx) reset() {
 	tx.inserts = tx.inserts[:0]
 	tx.tuples = 0
 	tx.TS = 0
+	tx.walWrites = tx.walWrites[:0]
+	tx.logged = false
 	tx.Alloc.Reset()
 }
 
@@ -126,8 +158,78 @@ func (tx *TxnCtx) UpdateRow(t *storage.Table, slot int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	if tx.DB.Wal != nil {
+		tx.captureWrite(t, slot, row)
+	}
 	tx.P.Tick(stats.Useful, costs.UsefulPerRow)
 	return row, nil
+}
+
+// captureWrite stages (t, slot, buf) for the commit record, deduplicating
+// repeat declarations of the same slot (schemes hand back the same buffer,
+// so one capture carries the final image).
+func (tx *TxnCtx) captureWrite(t *storage.Table, slot int, buf []byte) {
+	for i := range tx.walWrites {
+		w := &tx.walWrites[i]
+		if w.t == t && w.slot == slot {
+			w.buf = buf
+			return
+		}
+	}
+	tx.walWrites = append(tx.walWrites, walWrite{t: t, slot: slot, buf: buf})
+}
+
+// LogCommit appends the transaction's commit record to the attached WAL.
+// Schemes call it at their commit point — the instant their locks,
+// latches or validation outcome fix the transaction's place in the
+// serialization order — so the log sees commits in an order consistent
+// with their effects. It is idempotent per transaction; the engine's
+// post-Commit fallback covers schemes without an explicit hook. Read-only
+// transactions append nothing.
+//
+// Log time is billed to the LOG component via Breakdown.Add, which never
+// advances the simulated clock: with accounting-only logging the
+// simulator's schedule — and therefore the golden signature — is
+// byte-identical to a run without durability.
+func (tx *TxnCtx) LogCommit() {
+	lw := tx.DB.Wal
+	if lw == nil || tx.logged {
+		return
+	}
+	tx.logged = true
+	if len(tx.walWrites) == 0 && len(tx.inserts) == 0 {
+		return
+	}
+	w := tx.W
+	c := &w.walCommit
+	c.Worker = tx.P.ID()
+	c.Ver = 0
+	if w.tsOrdered {
+		c.Ver = tx.TS
+	}
+	c.Updates = c.Updates[:0]
+	for i := range tx.walWrites {
+		wr := &tx.walWrites[i]
+		c.Updates = append(c.Updates, wal.Update{Table: wr.t.ID, Slot: wr.slot, Image: wr.buf})
+	}
+	c.Inserts = c.Inserts[:0]
+	for i := range tx.inserts {
+		in := &tx.inserts[i]
+		c.Inserts = append(c.Inserts, wal.Insert{
+			Table: in.idx.Table().ID,
+			Index: tx.DB.indexOrd[in.idx],
+			Key:   in.key,
+			Image: in.buf,
+		})
+	}
+	w.walBuf = wal.AppendCommit(w.walBuf[:0], c)
+	lsn, sealed := lw.Append(w.walBuf)
+	w.walLSN = lsn
+	cycles := uint64(costs.LogAppend) + costs.CopyCost(uint64(len(w.walBuf)))
+	if sealed {
+		cycles += costs.LogFsync
+	}
+	tx.P.Stats().Add(stats.Log, cycles)
 }
 
 // InsertRow stages a new row for idx's table under key and returns the

@@ -5,6 +5,7 @@ import (
 	"abyss1000/internal/mem"
 	"abyss1000/internal/rt"
 	"abyss1000/internal/stats"
+	"abyss1000/internal/wal"
 )
 
 // Worker is one worker thread pinned to one core (§3.2: "the number of
@@ -32,6 +33,16 @@ type Worker struct {
 	smp   *sampler
 	scur  int64
 	spend intervalAgg
+
+	// WAL state: reusable commit-record scratch (walCommit's slices and
+	// walBuf grow once and are reused, keeping the logging path
+	// allocation-free in steady state), the LSN of the current
+	// transaction's record, and whether the scheme is timestamp-ordered
+	// (decides the record's replay version).
+	walCommit wal.Commit
+	walBuf    []byte
+	walLSN    uint64
+	tsOrdered bool
 }
 
 // NewWorker constructs a worker bound to proc p, for callers that drive
@@ -67,7 +78,9 @@ func (w *Worker) ExecOnce(txn Txn) error {
 	if err == nil {
 		err = w.Scheme.Commit(&w.Ctx)
 		if err == nil {
+			w.Ctx.LogCommit()
 			w.Ctx.applyInserts()
+			w.finishDurable()
 			if h, ok := txn.(CommitHook); ok {
 				h.Committed()
 			}
@@ -155,7 +168,27 @@ func newWorker(p rt.Proc, db *DB, scheme Scheme) *Worker {
 	}
 	w.Ctx = TxnCtx{P: p, W: w, DB: db, Alloc: alloc}
 	w.Ctx.State = scheme.NewTxnState(w)
+	_, w.tsOrdered = scheme.(TSOrderedScheme)
 	return w
+}
+
+// finishDurable blocks until the committed transaction's log record is
+// durable — the group-commit acknowledgement point. Only the native
+// runtime's async writer ever waits; the wait time is billed to the LOG
+// component. Accounting-only (sync) writers are durable at append.
+func (w *Worker) finishDurable() {
+	lw := w.DB.Wal
+	if lw == nil || w.walLSN == 0 {
+		return
+	}
+	lsn := w.walLSN
+	w.walLSN = 0
+	if !lw.Async() {
+		return
+	}
+	t0 := w.P.Now()
+	lw.WaitDurable(lsn)
+	w.P.Stats().Add(stats.Log, w.P.Now()-t0)
 }
 
 // runTxn executes txn to commit or user-abort, restarting on CC aborts,
@@ -177,7 +210,9 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 		if err == nil {
 			err = w.Scheme.Commit(&w.Ctx)
 			if err == nil {
+				w.Ctx.LogCommit()
 				w.Ctx.applyInserts()
+				w.finishDurable()
 			}
 		}
 

@@ -70,6 +70,21 @@ const (
 	// TsMutexHold is the critical-section length of the mutex-based
 	// allocator (increment + bookkeeping while holding the mutex).
 	TsMutexHold = 20
+
+	// LogAppend is the fixed cost of encoding and appending one commit
+	// record to the write-ahead log buffer (framing, CRC, bookkeeping),
+	// on top of the copy cost of the record body.
+	LogAppend = 120
+
+	// LogFsync is the modeled cost of one group-commit fsync, amortized
+	// over the group by billing it to the append that seals the group.
+	// ~10 µs at the 1 GHz target clock: the order of a fast NVMe flush.
+	LogFsync = 10_000
+
+	// LogGroupTxns is the default group-commit size used by the modeled
+	// (accounting-only) fsync charge: one LogFsync per this many commit
+	// records.
+	LogGroupTxns = 8
 )
 
 // CopyCost returns the cycles to copy n bytes through the core.

@@ -159,6 +159,30 @@ func (h *Hash) LoadInsert(key uint64, slot int) {
 	b.push(entry{key: key, slot: int32(slot)})
 }
 
+// LoadLookup probes for key during single-threaded setup or recovery, with
+// no latching or cost accounting.
+func (h *Hash) LoadLookup(key uint64) (int, bool) {
+	b, _ := h.bucketOf(key)
+	for j := int32(0); j < b.n; j++ {
+		if e := b.at(j); e.key == key {
+			return int(e.slot), true
+		}
+	}
+	return -1, false
+}
+
+// Range calls f for every key→slot mapping, in bucket order. Quiesced use
+// only (checkpointing, state dumps): it takes no latches.
+func (h *Hash) Range(f func(key uint64, slot int)) {
+	for i := range h.buckets {
+		b := &h.buckets[i]
+		for j := int32(0); j < b.n; j++ {
+			e := b.at(j)
+			f(e.key, int(e.slot))
+		}
+	}
+}
+
 // CompositeKey packs up to four small ids into one uint64 index key,
 // used by TPC-C's multi-column primary keys (e.g. district = (W_ID, D_ID)).
 func CompositeKey(a, b, c, d uint64) uint64 {

@@ -172,7 +172,7 @@ func TestFormatBreakdownMentionsAllComponents(t *testing.T) {
 	b.Add(Useful, 50)
 	b.Add(Wait, 50)
 	s := FormatBreakdown(&b)
-	for c := Component(0); c < NumComponents; c++ {
+	for c := Component(0); c < NumPaperComponents; c++ {
 		if !strings.Contains(s, c.String()) {
 			t.Fatalf("format missing %s: %s", c, s)
 		}
@@ -180,10 +180,19 @@ func TestFormatBreakdownMentionsAllComponents(t *testing.T) {
 	if !strings.Contains(s, "50.0%") {
 		t.Fatalf("format missing percentage: %s", s)
 	}
+	// Extension components (Log) appear only when non-zero, so existing
+	// output stays byte-identical with durability off.
+	if strings.Contains(s, Log.String()) {
+		t.Fatalf("zero Log bucket should be omitted: %s", s)
+	}
+	b.Add(Log, 1)
+	if s := FormatBreakdown(&b); !strings.Contains(s, Log.String()) {
+		t.Fatalf("non-zero Log bucket missing: %s", s)
+	}
 }
 
 func TestComponentKeyStable(t *testing.T) {
-	want := []string{"useful", "abort", "ts_alloc", "index", "wait", "manager"}
+	want := []string{"useful", "abort", "ts_alloc", "index", "wait", "manager", "log"}
 	for c := Component(0); c < NumComponents; c++ {
 		if c.Key() != want[c] {
 			t.Errorf("Component(%d).Key() = %q, want %q", int(c), c.Key(), want[c])
@@ -204,7 +213,7 @@ func TestBreakdownJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Keys appear in Component order with the stable identifiers.
-	wantOrder := `{"useful":7,"abort":14,"ts_alloc":21,"index":28,"wait":35,"manager":42}`
+	wantOrder := `{"useful":7,"abort":14,"ts_alloc":21,"index":28,"wait":35,"manager":42,"log":49}`
 	if string(data) != wantOrder {
 		t.Fatalf("breakdown JSON = %s, want %s", data, wantOrder)
 	}

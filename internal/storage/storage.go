@@ -98,8 +98,9 @@ type Table struct {
 	capacity int
 	loaded   int // rows populated during setup (single-threaded)
 
-	segBase []int // per-worker next free slot
-	segEnd  []int // per-worker segment end (exclusive)
+	segBase  []int // per-worker next free slot
+	segEnd   []int // per-worker segment end (exclusive)
+	segStart []int // per-worker segment start (initial segBase, for recovery)
 }
 
 // NewTable allocates a table with room for capacity rows, of which the
@@ -123,9 +124,11 @@ func NewTable(id int, schema *Schema, capacity, loaded, nworkers int) *Table {
 	per := spare / nworkers
 	t.segBase = make([]int, nworkers)
 	t.segEnd = make([]int, nworkers)
+	t.segStart = make([]int, nworkers)
 	for w := 0; w < nworkers; w++ {
 		t.segBase[w] = loaded + w*per
 		t.segEnd[w] = loaded + (w+1)*per
+		t.segStart[w] = t.segBase[w]
 	}
 	t.segEnd[nworkers-1] = capacity
 	return t
@@ -147,6 +150,13 @@ func (t *Table) Row(slot int) []byte {
 // LoadRow returns slot i's bytes for single-threaded population at setup.
 func (t *Table) LoadRow(i int) []byte { return t.Row(i) }
 
+// Rows returns the raw bytes of the contiguous slots [start, start+n)
+// (checkpointing reads row ranges straight out of the slab).
+func (t *Table) Rows(start, n int) []byte {
+	rs := t.Schema.RowSize()
+	return t.slab[start*rs : (start+n)*rs : (start+n)*rs]
+}
+
 // AllocSlot carves a fresh slot from worker w's insert segment. It returns
 // -1 when the segment is exhausted (the caller sizes capacity to make this
 // impossible in a configured run; hitting it is a configuration error
@@ -158,6 +168,29 @@ func (t *Table) AllocSlot(w int) int {
 	s := t.segBase[w]
 	t.segBase[w]++
 	return s
+}
+
+// NumSegs returns the number of per-worker insert segments.
+func (t *Table) NumSegs() int { return len(t.segBase) }
+
+// SegRange returns worker w's allocated insert range [start, next): the
+// slots handed out by AllocSlot so far. Recovery and checkpointing walk
+// these to enumerate every populated slot beyond the setup rows.
+func (t *Table) SegRange(w int) (start, next int) {
+	return t.segStart[w], t.segBase[w]
+}
+
+// RestoreSegNext rewinds or advances worker w's allocation cursor to next
+// (clamped to the segment). Recovery uses it to restore checkpointed
+// allocation state so replayed inserts land on their original slots.
+func (t *Table) RestoreSegNext(w, next int) {
+	if next < t.segStart[w] {
+		next = t.segStart[w]
+	}
+	if next > t.segEnd[w] {
+		next = t.segEnd[w]
+	}
+	t.segBase[w] = next
 }
 
 // MemKey returns the placement key of slot's cache line(s) for the NUCA

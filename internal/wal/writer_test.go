@@ -1,0 +1,177 @@
+package wal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func commitFrame(worker int, n int) []byte {
+	return AppendCommit(nil, &Commit{Worker: worker, Updates: []Update{{Table: 0, Slot: n, Image: []byte{byte(n)}}}})
+}
+
+func TestSyncWriterGroupCadence(t *testing.T) {
+	sink := NewMemSink()
+	w := NewWriter(sink, Config{GroupTxns: 4})
+	var sealed int
+	for i := 0; i < 10; i++ {
+		lsn, s := w.Append(commitFrame(0, i))
+		if lsn != uint64(i+1) {
+			t.Fatalf("lsn = %d, want %d", lsn, i+1)
+		}
+		if s {
+			sealed++
+			if (i+1)%4 != 0 {
+				t.Fatalf("append %d sealed a group, cadence is 4", i+1)
+			}
+		}
+		w.WaitDurable(lsn) // must not block in sync mode
+	}
+	if sealed != 2 || sink.Syncs() != 2 {
+		t.Fatalf("sealed=%d sinkSyncs=%d, want 2/2", sealed, sink.Syncs())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Syncs() != 3 { // close flushes the 2 unsealed records
+		t.Fatalf("syncs after close = %d, want 3", sink.Syncs())
+	}
+	recs, info, err := Scan(sink.Bytes())
+	if err != nil || info.TornBytes != 0 || len(recs) != 10 {
+		t.Fatalf("scan: %d recs, info %+v, err %v", len(recs), info, err)
+	}
+}
+
+func TestAsyncWriterGroupCommit(t *testing.T) {
+	sink := NewMemSink()
+	w := NewWriter(sink, Config{Async: true, GroupTimeout: time.Millisecond})
+	const n = 50
+	lsns := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		lsns[i], _ = w.Append(commitFrame(1, i))
+	}
+	for _, lsn := range lsns {
+		w.WaitDurable(lsn)
+	}
+	if syncs := sink.Syncs(); syncs == 0 || syncs >= n {
+		t.Fatalf("sink syncs = %d, want batched (0 < syncs < %d)", syncs, n)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := Scan(sink.Bytes())
+	if err != nil || info.TornBytes != 0 {
+		t.Fatalf("scan: info %+v, err %v", info, err)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+	for i, r := range recs {
+		if r.Commit == nil || r.Commit.Updates[0].Slot != i {
+			t.Fatalf("record %d out of order: %+v", i, r.Commit)
+		}
+	}
+}
+
+func TestAsyncWriterConcurrentAppend(t *testing.T) {
+	sink := NewMemSink()
+	w := NewWriter(sink, Config{Async: true, GroupTimeout: 200 * time.Microsecond})
+	const workers, per = 8, 40
+	done := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				lsn, _ := w.Append(commitFrame(g, i))
+				w.WaitDurable(lsn)
+			}
+		}(g)
+	}
+	for g := 0; g < workers; g++ {
+		<-done
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, info, err := Scan(sink.Bytes())
+	if err != nil || info.TornBytes != 0 || len(recs) != workers*per {
+		t.Fatalf("scan: %d recs, info %+v, err %v", len(recs), info, err)
+	}
+}
+
+func TestWriterFaultIsSticky(t *testing.T) {
+	mem := NewMemSink()
+	// Fail ~60 bytes into the record stream (magic already written by mem).
+	fault := NewFaultSink(mem, 60)
+	w := NewWriter(fault, Config{GroupTxns: 2})
+	var firstErrAt uint64
+	for i := 0; i < 20; i++ {
+		lsn, _ := w.Append(commitFrame(0, i))
+		if w.Err() != nil && firstErrAt == 0 {
+			firstErrAt = lsn
+		}
+	}
+	if firstErrAt == 0 {
+		t.Fatal("fault never fired")
+	}
+	if !errors.Is(w.Err(), ErrInjected) {
+		t.Fatalf("Err() = %v, want ErrInjected", w.Err())
+	}
+	if !fault.Failed() {
+		t.Fatal("fault sink not marked failed")
+	}
+	if w.Seq() != 20 {
+		t.Fatalf("seq = %d, want 20 (LSNs advance on a dead log)", w.Seq())
+	}
+	w.WaitDurable(20) // must not hang on a dead log
+	if err := w.Close(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Close = %v, want ErrInjected", err)
+	}
+	// The torn stream still scans cleanly up to the tear.
+	recs, info, err := Scan(mem.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TornBytes == 0 {
+		t.Fatal("expected a torn tail")
+	}
+	if len(recs) == 0 && int64(len(mem.Bytes())) > int64(len(Magic)) && info.Complete != int64(len(Magic)) {
+		t.Fatalf("inconsistent scan of torn stream: %+v", info)
+	}
+}
+
+func TestAsyncWriterFaultUnblocksWaiters(t *testing.T) {
+	mem := NewMemSink()
+	fault := NewFaultSink(mem, 10)
+	w := NewWriter(fault, Config{Async: true, GroupTimeout: 100 * time.Microsecond})
+	lsn, _ := w.Append(commitFrame(0, 0))
+	donec := make(chan struct{})
+	go func() {
+		w.WaitDurable(lsn)
+		close(donec)
+	}()
+	select {
+	case <-donec:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitDurable hung after injected crash")
+	}
+	if !errors.Is(w.Err(), ErrInjected) {
+		t.Fatalf("Err() = %v, want ErrInjected", w.Err())
+	}
+	w.Close()
+}
+
+func TestWriterFlushIdempotent(t *testing.T) {
+	sink := NewMemSink()
+	w := NewWriter(sink, Config{GroupTxns: 100})
+	w.Append(commitFrame(0, 0))
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if sink.Syncs() != 1 {
+		t.Fatalf("double flush synced %d times, want 1", sink.Syncs())
+	}
+}

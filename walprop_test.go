@@ -1,0 +1,543 @@
+package abyss1000_test
+
+// Crash-fault-injection recovery harness: the durability tier's
+// end-to-end property tests. The contract under test is the one
+// README.md states for the WAL: tear the log stream at ANY byte — a
+// machine crash mid group-commit write — and recovery must rebuild
+// exactly the committed state of the complete record prefix, on every
+// scheme and both runtimes. The tests compare recovered databases
+// against live ones with abyss.DB.StateDump, whose string form is a
+// complete serialization of committed user-visible state, and use
+// internal/wal.Scan only to enumerate record boundaries so cuts land
+// both ON frame edges and INSIDE frames (torn tails).
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+
+	"abyss1000/abyss"
+	"abyss1000/bench"
+	"abyss1000/internal/wal"
+	"abyss1000/workloads/smallbank"
+)
+
+// ycsbParams returns a small YCSB configuration that still produces a
+// few hundred logged commits, partitioned when the scheme needs it.
+func ycsbParams(t *testing.T, scheme string) abyss.WorkloadParams {
+	t.Helper()
+	p, err := abyss.DefaultWorkloadParams("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Rows = 512
+	p.ReqPerTxn = 4
+	if scheme == "HSTORE" {
+		p.Partitioned = true
+		p.MPFraction = 0.1
+	}
+	if p.MPParts < 2 {
+		p.MPParts = 2
+	}
+	return p
+}
+
+// durableRun executes one YCSB measurement with a WAL attached (async
+// group commit on the native runtime, accounting-only sync mode on the
+// simulator), flushes the log and returns the live DB plus the captured
+// stream.
+func durableRun(t *testing.T, runtime, scheme string) (*abyss.DB, []byte, abyss.Result) {
+	t.Helper()
+	sink := abyss.NewMemLogSink()
+	db, err := abyss.Open(abyss.Options{
+		Runtime:    runtime,
+		Cores:      4,
+		Seed:       42,
+		Durability: &abyss.Durability{Sink: sink, Async: runtime == abyss.RuntimeNative},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := ycsbParams(t, scheme)
+	wl, err := db.BuildWorkload("ycsb", params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := abyss.NewScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := abyss.RunConfig{WarmupCycles: 20_000, MeasureCycles: 150_000, AbortBackoff: 500}
+	if runtime == abyss.RuntimeNative {
+		rc = abyss.RunConfig{WarmupCycles: 1_000_000, MeasureCycles: 10_000_000, AbortBackoff: 500} // ns
+	}
+	res, err := db.Run(s, wl, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatalf("%s/%s committed nothing", runtime, scheme)
+	}
+	if err := db.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+	return db, sink.Bytes(), res
+}
+
+// recoverYCSB replays stream onto a freshly built copy of the YCSB
+// catalog and returns the recovered DB and replay info.
+func recoverYCSB(t *testing.T, scheme string, stream []byte) (*abyss.DB, abyss.RecoverInfo) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 4, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.BuildWorkload("ycsb", ycsbParams(t, scheme)); err != nil {
+		t.Fatal(err)
+	}
+	info, err := db.Recover(stream)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	return db, info
+}
+
+// cutPoints enumerates crash offsets for a stream: for every record,
+// the frame start (a clean boundary), one byte past it, the frame
+// midpoint and the last byte before the frame ends — all torn tails —
+// plus the stream end. Record extents come from the WAL scanner itself.
+func cutPoints(t *testing.T, stream []byte) []int {
+	t.Helper()
+	recs, info, err := wal.Scan(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Complete != int64(len(stream)) || info.TornBytes != 0 {
+		t.Fatalf("full stream should scan clean: %+v", info)
+	}
+	if len(recs) == 0 {
+		t.Fatal("stream has no records")
+	}
+	var cuts []int
+	for _, r := range recs {
+		mid := r.Off + (r.End-r.Off)/2
+		cuts = append(cuts, int(r.Off), int(r.Off)+1, int(mid), int(r.End)-1)
+	}
+	cuts = append(cuts, len(stream))
+	return cuts
+}
+
+// TestCrashRecoveryAllSchemes is the tier's headline property: on every
+// paper scheme and both runtimes, replaying the full log onto a fresh
+// copy of the catalog reproduces the live DB's committed state exactly.
+func TestCrashRecoveryAllSchemes(t *testing.T) {
+	for _, runtime := range []string{abyss.RuntimeSim, abyss.RuntimeNative} {
+		for _, scheme := range abyss.PaperSchemes() {
+			t.Run(runtime+"/"+scheme, func(t *testing.T) {
+				live, stream, res := durableRun(t, runtime, scheme)
+				rec, info := recoverYCSB(t, scheme, stream)
+				if info.TornBytes != 0 {
+					t.Fatalf("flushed stream should have no torn tail: %+v", info)
+				}
+				// Warmup commits are logged too, so the log holds at
+				// least the measurement window's commits.
+				if uint64(info.Commits) < res.Commits {
+					t.Fatalf("log has %d commits, run reported %d in the measurement window alone", info.Commits, res.Commits)
+				}
+				if rec.StateDump() != live.StateDump() {
+					t.Fatalf("recovered state diverges from live committed state (%d commits)", res.Commits)
+				}
+			})
+		}
+	}
+}
+
+// TestRecoveryTruncationSweep tears the stream at every enumerated cut
+// point — frame boundaries and mid-frame torn tails — and checks the
+// prefix property: recovery of a torn stream equals recovery of its
+// longest complete prefix, never fails, and commit counts grow
+// monotonically with the cut.
+func TestRecoveryTruncationSweep(t *testing.T) {
+	const scheme = "NO_WAIT"
+	_, stream, _ := durableRun(t, abyss.RuntimeSim, scheme)
+	// The prefix dump at each complete boundary, computed once per
+	// boundary: torn cuts must reduce to one of these.
+	prefixDump := map[int]string{}
+	dumpAt := func(boundary int) string {
+		if d, ok := prefixDump[boundary]; ok {
+			return d
+		}
+		db, info := recoverYCSB(t, scheme, stream[:boundary])
+		if info.TornBytes != 0 {
+			t.Fatalf("cut %d claimed to be a boundary but has %d torn bytes", boundary, info.TornBytes)
+		}
+		d := db.StateDump()
+		prefixDump[boundary] = d
+		return d
+	}
+	cuts := cutPoints(t, stream)
+	if testing.Short() && len(cuts) > 64 {
+		// The full sweep recovers at every enumerated offset; the race-
+		// detector CI smoke keeps a strided sample plus both ends.
+		sampled := cuts[:0]
+		for i, c := range cuts {
+			if i%(len(cuts)/64+1) == 0 || i >= len(cuts)-2 {
+				sampled = append(sampled, c)
+			}
+		}
+		cuts = sampled
+	}
+	lastCommits := uint64(0)
+	for _, cut := range cuts {
+		db, info := recoverYCSB(t, scheme, stream[:cut])
+		if got := cut - int(info.TornBytes); got < 0 || got > cut {
+			t.Fatalf("cut %d: implausible torn-byte count %d", cut, info.TornBytes)
+		}
+		boundary := cut - int(info.TornBytes)
+		if db.StateDump() != dumpAt(boundary) {
+			t.Fatalf("cut %d: torn recovery differs from its complete prefix at %d", cut, boundary)
+		}
+		if uint64(info.Commits) < lastCommits {
+			t.Fatalf("cut %d: commits went backwards (%d < %d)", cut, info.Commits, lastCommits)
+		}
+		lastCommits = uint64(info.Commits)
+	}
+}
+
+// smallBankRun executes a transfer-only SmallBank mix (money is
+// invariant) with a WAL, returning the stream and its config.
+func smallBankRun(t *testing.T, scheme string, sink abyss.LogSink) (*abyss.DB, smallbank.Config, abyss.Result) {
+	t.Helper()
+	cfg := smallbank.DefaultConfig()
+	cfg.Accounts = 1024
+	cfg.HotAccounts = 16
+	cfg.HotPct = 0.9
+	cfg.Weights = [6]float64{20, 0, 0, 40, 0, 40} // Balance/Amalgamate/SendPayment only
+	db, err := abyss.Open(abyss.Options{
+		Runtime:    abyss.RuntimeSim,
+		Cores:      8,
+		Seed:       11,
+		Durability: &abyss.Durability{Sink: sink},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := smallbank.Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := abyss.NewScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(s, wl, abyss.RunConfig{WarmupCycles: 30_000, MeasureCycles: 200_000, AbortBackoff: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatalf("%s committed nothing", scheme)
+	}
+	return db, cfg, res
+}
+
+// recoveredTotal replays stream onto a fresh SmallBank catalog and sums
+// every recovered balance.
+func recoveredTotal(t *testing.T, cfg smallbank.Config, stream []byte) (int64, abyss.RecoverInfo) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := smallbank.Build(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := db.Recover(stream)
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	var total int64
+	for _, tb := range []*abyss.Table{wl.Savings(), wl.Checking()} {
+		for slot := 0; slot < cfg.Accounts; slot++ {
+			total += tb.Schema.GetI64(tb.Row(slot), 1)
+		}
+	}
+	return total, info
+}
+
+// TestSmallBankConservationUnderCrash cuts the log of a transfer-only
+// SmallBank run at frame boundaries and inside frames, on every paper
+// scheme, and checks that every recovered prefix still conserves money:
+// a crash can lose the tail of history but can never recover a state
+// where a transfer half-happened.
+func TestSmallBankConservationUnderCrash(t *testing.T) {
+	for _, scheme := range abyss.PaperSchemes() {
+		t.Run(scheme, func(t *testing.T) {
+			sink := abyss.NewMemLogSink()
+			db, cfg, _ := smallBankRun(t, scheme, sink)
+			if err := db.FlushLog(); err != nil {
+				t.Fatal(err)
+			}
+			stream := sink.Bytes()
+			cuts := cutPoints(t, stream)
+			// The full sweep is quadratic in stream size across seven
+			// schemes; a strided sample plus the endpoints keeps the
+			// test fast while still hitting boundaries and torn tails.
+			if len(cuts) > 40 {
+				sampled := cuts[:0]
+				for i, c := range cuts {
+					if i%(len(cuts)/40+1) == 0 || i >= len(cuts)-2 {
+						sampled = append(sampled, c)
+					}
+				}
+				cuts = sampled
+			}
+			want := smallbank.InitialTotal(cfg.Accounts)
+			for _, cut := range cuts {
+				got, info := recoveredTotal(t, cfg, stream[:cut])
+				if got != want {
+					t.Fatalf("cut %d (%d commits recovered): money not conserved: %d != %d (diff %d cents)",
+						cut, info.Commits, got, want, got-want)
+				}
+			}
+		})
+	}
+}
+
+// TestLiveCrashInjection runs with a FaultLogSink that tears the stream
+// mid-run — the disk dies while transactions are still committing. The
+// run itself must complete (commits proceed in memory), the log must
+// report the injected error, and recovery of the torn stream must
+// restore the durable prefix with no more commits than the live run.
+func TestLiveCrashInjection(t *testing.T) {
+	for _, runtime := range []string{abyss.RuntimeSim, abyss.RuntimeNative} {
+		t.Run(runtime, func(t *testing.T) {
+			mem := abyss.NewMemLogSink()
+			sink := abyss.NewFaultLogSink(mem, 20_000)
+			db, err := abyss.Open(abyss.Options{
+				Runtime:    runtime,
+				Cores:      4,
+				Seed:       42,
+				Durability: &abyss.Durability{Sink: sink, Async: runtime == abyss.RuntimeNative},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			params := ycsbParams(t, "NO_WAIT")
+			wl, err := db.BuildWorkload("ycsb", params)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := abyss.NewScheme("NO_WAIT")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rc := abyss.RunConfig{WarmupCycles: 20_000, MeasureCycles: 150_000, AbortBackoff: 500}
+			if runtime == abyss.RuntimeNative {
+				rc = abyss.RunConfig{WarmupCycles: 1_000_000, MeasureCycles: 10_000_000, AbortBackoff: 500}
+			}
+			res, err := db.Run(s, wl, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits == 0 {
+				t.Fatal("live run should keep committing after the log dies")
+			}
+			if !sink.Failed() {
+				t.Fatal("fault point never fired: stream too short for the offset")
+			}
+			if !errors.Is(db.LogErr(), abyss.ErrLogInjected) {
+				t.Fatalf("LogErr = %v, want ErrLogInjected", db.LogErr())
+			}
+			if got := len(mem.Bytes()); got > 8+20_000 {
+				t.Fatalf("fault sink let %d bytes through past the %d-byte fault point", got, 20_000)
+			}
+			_, info := recoverYCSB(t, "NO_WAIT", mem.Bytes())
+			if info.Commits == 0 {
+				t.Fatal("nothing recovered from the durable prefix before the fault point")
+			}
+		})
+	}
+}
+
+// TestRecoveryIdempotence pins the replay-twice, empty-log and
+// checkpoint-only cases: recovery is a pure function of (catalog,
+// stream) and applying it again changes nothing.
+func TestRecoveryIdempotence(t *testing.T) {
+	t.Run("replay-twice", func(t *testing.T) {
+		live, stream, _ := durableRun(t, abyss.RuntimeSim, "TIMESTAMP")
+		rec, _ := recoverYCSB(t, "TIMESTAMP", stream)
+		first := rec.StateDump()
+		if _, err := rec.Recover(stream); err != nil {
+			t.Fatalf("second recover: %v", err)
+		}
+		if rec.StateDump() != first {
+			t.Fatal("second replay of the same stream changed the state")
+		}
+		if first != live.StateDump() {
+			t.Fatal("recovered state diverges from live state")
+		}
+	})
+	t.Run("empty-log", func(t *testing.T) {
+		stream := abyss.NewMemLogSink().Bytes() // magic only
+		rec, info := recoverYCSB(t, "NO_WAIT", stream)
+		if info.Records != 0 || info.Commits != 0 {
+			t.Fatalf("empty log replayed something: %+v", info)
+		}
+		pristine, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 4, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pristine.BuildWorkload("ycsb", ycsbParams(t, "NO_WAIT")); err != nil {
+			t.Fatal(err)
+		}
+		if rec.StateDump() != pristine.StateDump() {
+			t.Fatal("recovering an empty log perturbed the freshly built state")
+		}
+	})
+	t.Run("checkpoint-only", func(t *testing.T) {
+		sink := abyss.NewMemLogSink()
+		db, err := abyss.Open(abyss.Options{
+			Runtime: abyss.RuntimeSim, Cores: 4, Seed: 42,
+			Durability: &abyss.Durability{Sink: sink},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.BuildWorkload("ycsb", ycsbParams(t, "NO_WAIT")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Checkpoint(); err != nil {
+			t.Fatal(err)
+		}
+		rec, info := recoverYCSB(t, "NO_WAIT", sink.Bytes())
+		if info.Checkpoint == 0 {
+			t.Fatalf("recovery did not use the checkpoint: %+v", info)
+		}
+		if rec.StateDump() != db.StateDump() {
+			t.Fatal("checkpoint-only recovery diverges from the checkpointed DB")
+		}
+	})
+}
+
+// TestCheckpointedRecovery runs, checkpoints, and recovers from a stream
+// whose replay region is empty (everything is in the checkpoint): the
+// recovered state must still equal the live state, including for MVCC,
+// whose committed images live in version chains rather than the slab.
+func TestCheckpointedRecovery(t *testing.T) {
+	for _, scheme := range []string{"NO_WAIT", "MVCC", "TIMESTAMP"} {
+		t.Run(scheme, func(t *testing.T) {
+			sink := abyss.NewMemLogSink()
+			db, err := abyss.Open(abyss.Options{
+				Runtime: abyss.RuntimeSim, Cores: 4, Seed: 42,
+				Durability: &abyss.Durability{Sink: sink},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := db.BuildWorkload("ycsb", ycsbParams(t, scheme))
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := abyss.NewScheme(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := db.Run(s, wl, abyss.RunConfig{WarmupCycles: 20_000, MeasureCycles: 150_000, AbortBackoff: 500}); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+			rec, info := recoverYCSB(t, scheme, sink.Bytes())
+			if info.Checkpoint == 0 {
+				t.Fatalf("recovery ignored the checkpoint: %+v", info)
+			}
+			if info.Commits != 0 {
+				t.Fatalf("post-checkpoint replay region should be empty, applied %d commits", info.Commits)
+			}
+			if rec.StateDump() != db.StateDump() {
+				t.Fatal("checkpointed recovery diverges from live committed state")
+			}
+		})
+	}
+}
+
+// TestLogGroupingKnob pins that RunConfig.LogGroupTxns reaches the
+// writer: halving the group size roughly doubles the modeled sync count.
+func TestLogGroupingKnob(t *testing.T) {
+	syncsWith := func(group int) uint64 {
+		db, err := abyss.Open(abyss.Options{
+			Runtime: abyss.RuntimeSim, Cores: 4, Seed: 42,
+			Durability: &abyss.Durability{Sink: abyss.NewMemLogSink()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wl, err := db.BuildWorkload("ycsb", ycsbParams(t, "NO_WAIT"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := abyss.NewScheme("NO_WAIT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := abyss.RunConfig{WarmupCycles: 20_000, MeasureCycles: 150_000, AbortBackoff: 500, LogGroupTxns: group}
+		if _, err := db.Run(s, wl, rc); err != nil {
+			t.Fatal(err)
+		}
+		_, _, syncs := db.LogStats()
+		return syncs
+	}
+	coarse, fine := syncsWith(16), syncsWith(2)
+	if fine <= coarse {
+		t.Fatalf("LogGroupTxns=2 should sync more than =16: %d <= %d", fine, coarse)
+	}
+}
+
+// TestGoldenSignatureWithLogging pins the accounting-only guarantee at
+// full strength: the simulator's golden signature — commits, aborts,
+// tuples and all six paper breakdown components across eleven runs — is
+// byte-identical with durability logging attached.
+func TestGoldenSignatureWithLogging(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~11 full simulations")
+	}
+	want, err := os.ReadFile("testdata/golden_sim.txt")
+	if err != nil {
+		t.Fatalf("missing pinned signature: %v", err)
+	}
+	got := bench.GoldenSignatureDurable()
+	if got != string(want) {
+		t.Errorf("accounting-only logging perturbed the simulated schedule:\n%s",
+			diffLines(string(want), got))
+	}
+}
+
+// diffLines renders a compact first-difference report for two
+// line-oriented strings.
+func diffLines(want, got string) string {
+	w, g := []byte(want), []byte(got)
+	n := len(w)
+	if len(g) < n {
+		n = len(g)
+	}
+	for i := 0; i < n; i++ {
+		if w[i] != g[i] {
+			lo := i - 60
+			if lo < 0 {
+				lo = 0
+			}
+			return fmt.Sprintf("first diff at byte %d:\nwant ...%q\ngot  ...%q", i, want[lo:i+20], got[lo:min(i+20, len(got))])
+		}
+	}
+	return fmt.Sprintf("length mismatch: want %d bytes, got %d", len(want), len(got))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
