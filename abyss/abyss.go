@@ -377,6 +377,13 @@ type RunConfig struct {
 	// run. Zero keeps the Durability setting. Ignored without
 	// Options.Durability.
 	LogGroupTimeout time.Duration
+
+	// Check records every committed transaction's read and write
+	// versions during the run for the serializability checker: after Run
+	// returns, DB.CheckSerializability verifies the captured history and
+	// DB.History exposes it. Accounting-only, like SampleEvery — the
+	// Result is identical with it on or off. See check.go.
+	Check bool
 }
 
 // DefaultRunConfig returns a window sized for quick experiments on this
@@ -445,6 +452,7 @@ func (db *DB) runMeasured(scheme Scheme, wl Workload, cfg RunConfig) (res Result
 		MeasureCycles: cfg.MeasureCycles,
 		AbortBackoff:  cfg.AbortBackoff,
 		SampleEvery:   cfg.SampleEvery,
+		Capture:       cfg.Check,
 	}, cfg.Observer)
 	return res, nil
 }

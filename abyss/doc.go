@@ -41,6 +41,14 @@
 // Result identical to an unobserved one, and on the simulated runtime the
 // entire schedule is unchanged.
 //
+// Correctness is checkable, not assumed: set RunConfig.Check and the run
+// captures every committed transaction's reads and writes as versions
+// (accounting-only, like sampling); DB.CheckSerializability then builds
+// the direct serialization graph over the captured history and verifies
+// acyclicity plus final-state equivalence against a single-threaded
+// oracle replay, returning a minimal counterexample cycle on failure.
+// See check.go and the abyss1000/workloads/chaos fuzzer.
+//
 // Every run on the simulated runtime is deterministic in (Options.Seed,
 // configuration): same inputs, byte-identical Result. The native runtime
 // trades determinism for real wall-clock measurements on host cores.

@@ -1,0 +1,68 @@
+package abyss
+
+import (
+	"fmt"
+
+	"abyss1000/internal/history"
+)
+
+// The instrumented correctness workloads (abyss1000/internal/history) in
+// the public registry: counter (lost-update pressure), pair (fractured
+// reads) and register (unique-value read/write traces). They were built
+// for the scheme conformance tests; registering them makes the same
+// contention shapes runnable from abyss-sim — in particular together
+// with -check, which layers the serializability verdict on top:
+//
+//	abyss-sim -check -workload counter -scheme NO_WAIT -cores 8 -seed 3
+//
+// Params: Rows is the counter/register count (for pair, the pair count);
+// ReqPerTxn is the accesses per transaction (counter, register).
+func init() {
+	MustRegisterWorkload(WorkloadInfo{
+		Name:      "counter",
+		Desc:      "Counter: read-modify-write increments over a small counter array (correctness extension)",
+		Extension: true,
+		Defaults:  func() WorkloadParams { return WorkloadParams{Rows: 64, ReqPerTxn: 4} },
+		Build: func(db *DB, p WorkloadParams) (Workload, error) {
+			if err := histRowsPerTxn("counter", p); err != nil {
+				return nil, err
+			}
+			return history.NewCounterWorkload(db.inner, p.Rows, p.ReqPerTxn), nil
+		},
+	})
+	MustRegisterWorkload(WorkloadInfo{
+		Name:      "pair",
+		Desc:      "Pair: atomic pair increments vs. pair readers (correctness extension)",
+		Extension: true,
+		Defaults:  func() WorkloadParams { return WorkloadParams{Rows: 32} },
+		Build: func(db *DB, p WorkloadParams) (Workload, error) {
+			if p.Rows <= 0 {
+				return nil, fmt.Errorf("abyss: pair Rows (the pair count) must be positive, got %d", p.Rows)
+			}
+			return history.NewPairWorkload(db.inner, p.Rows), nil
+		},
+	})
+	MustRegisterWorkload(WorkloadInfo{
+		Name:      "register",
+		Desc:      "Register: unique-value writes with read/write trace logging (correctness extension)",
+		Extension: true,
+		Defaults:  func() WorkloadParams { return WorkloadParams{Rows: 64, ReqPerTxn: 4} },
+		Build: func(db *DB, p WorkloadParams) (Workload, error) {
+			if err := histRowsPerTxn("register", p); err != nil {
+				return nil, err
+			}
+			return history.NewRegisterWorkload(db.inner, p.Rows, p.ReqPerTxn), nil
+		},
+	})
+}
+
+// histRowsPerTxn validates the shared Rows/ReqPerTxn pair.
+func histRowsPerTxn(name string, p WorkloadParams) error {
+	if p.Rows <= 0 {
+		return fmt.Errorf("abyss: %s Rows must be positive, got %d", name, p.Rows)
+	}
+	if p.ReqPerTxn <= 0 || p.ReqPerTxn > p.Rows {
+		return fmt.Errorf("abyss: %s ReqPerTxn must be in [1, Rows=%d], got %d", name, p.Rows, p.ReqPerTxn)
+	}
+	return nil
+}

@@ -86,7 +86,7 @@ func TestSchemeRegistryErrors(t *testing.T) {
 // and that defaults and errors behave.
 func TestWorkloadRegistry(t *testing.T) {
 	names := abyss.Workloads()
-	for _, want := range []string{"ycsb", "tpcc"} {
+	for _, want := range []string{"ycsb", "tpcc", "counter", "pair", "register"} {
 		found := false
 		for _, n := range names {
 			if n == want {

@@ -35,7 +35,7 @@ func GoldenSignature() string {
 // GoldenSignature() — the observer-determinism regression test pins
 // exactly that.
 func GoldenSignatureObserved(every uint64, obs core.Observer) string {
-	return goldenSignature(every, obs, false)
+	return goldenSignature(every, obs, false, false)
 }
 
 // GoldenSignatureDurable is GoldenSignature with an accounting-only
@@ -45,12 +45,21 @@ func GoldenSignatureObserved(every uint64, obs core.Observer) string {
 // the returned string must be byte-identical to GoldenSignature(); the
 // walprop durability tests pin exactly that.
 func GoldenSignatureDurable() string {
-	return goldenSignature(0, nil, true)
+	return goldenSignature(0, nil, true, false)
 }
 
-func goldenSignature(every uint64, obs core.Observer, durable bool) string {
+// GoldenSignatureCaptured is GoldenSignature with serializability history
+// capture (core.Config.Capture) enabled on every run. Capture is
+// accounting-only like the WAL — it never ticks, syncs or latches — so
+// the returned string must be byte-identical to GoldenSignature(); the
+// capture determinism test pins exactly that.
+func GoldenSignatureCaptured() string {
+	return goldenSignature(0, nil, false, true)
+}
+
+func goldenSignature(every uint64, obs core.Observer, durable, captured bool) string {
 	var b strings.Builder
-	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000, SampleEvery: every}
+	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000, SampleEvery: every, Capture: captured}
 	attach := func(db *core.DB) {
 		if durable {
 			db.Wal = wal.NewWriter(wal.NewMemSink(), wal.Config{})

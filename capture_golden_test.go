@@ -1,0 +1,30 @@
+package abyss1000_test
+
+// Serializability capture must be accounting-only: recording every
+// committed transaction's read and write versions may never tick the
+// simulated clock, take a latch the engine would not otherwise take, or
+// bill a breakdown bucket. The test pins that at full strength — the
+// simulator's golden signature across eleven runs is byte-identical with
+// capture attached — mirroring the WAL's TestGoldenSignatureWithLogging.
+
+import (
+	"os"
+	"testing"
+
+	"abyss1000/bench"
+)
+
+func TestGoldenSignatureWithCapture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~11 full simulations")
+	}
+	want, err := os.ReadFile("testdata/golden_sim.txt")
+	if err != nil {
+		t.Fatalf("missing pinned signature: %v", err)
+	}
+	got := bench.GoldenSignatureCaptured()
+	if got != string(want) {
+		t.Errorf("history capture perturbed the simulated schedule:\n%s",
+			diffLines(string(want), got))
+	}
+}

@@ -26,7 +26,8 @@ import (
 
 	"abyss1000/abyss"
 
-	// Register the SmallBank extension workload.
+	// Register the chaos fuzz workload and the SmallBank extension.
+	_ "abyss1000/workloads/chaos"
 	_ "abyss1000/workloads/smallbank"
 )
 
@@ -59,6 +60,9 @@ func main() {
 
 		warmup  = flag.Uint64("warmup", 300_000, "warmup cycles (ns if native)")
 		measure = flag.Uint64("measure", 1_500_000, "measurement cycles (ns if native)")
+
+		// Correctness knobs.
+		check = flag.Bool("check", false, "capture the run's transaction history and verify serializability plus final-state equivalence; non-zero exit and a repro line on failure")
 
 		// Observability knobs.
 		interval = flag.Uint64("interval", 0, "print a live throughput/abort/latency line every N cycles of the measurement window (0 disables)")
@@ -201,6 +205,7 @@ func main() {
 		MeasureCycles: *measure,
 		AbortBackoff:  1000,
 		SampleEvery:   *interval,
+		Check:         *check,
 	}
 
 	rc.LogGroupTxns = *walGroup
@@ -223,6 +228,20 @@ func main() {
 	fmt.Println(res.String())
 	if *hist {
 		printHistogram(&res)
+	}
+
+	if *check {
+		rep, err := db.CheckSerializability()
+		if err != nil {
+			fail(err)
+		}
+		if !rep.OK() {
+			fmt.Printf("serializability check: FAIL\n%s\n", rep)
+			fmt.Printf("repro: abyss-sim -check -workload %s -scheme %s -runtime %s -cores %d -seed %d -warmup %d -measure %d\n",
+				*workload, *schemeName, *runtimeSel, *cores, *seed, *warmup, *measure)
+			os.Exit(1)
+		}
+		fmt.Printf("serializability check: PASS (%d txns, %d edges)\n", rep.Txns, rep.Edges)
 	}
 
 	if db.Durable() {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCheckReproLine pins the -check repro contract from the shell: the
+// exact command line a failure report would print (same workload,
+// scheme, runtime, cores, seed, window) reruns the identical simulated
+// schedule, so its verdict output is byte-identical across invocations.
+func TestCheckReproLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary twice")
+	}
+	bin := filepath.Join(t.TempDir(), "abyss-sim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building abyss-sim: %v\n%s", err, out)
+	}
+	args := []string{
+		"-check", "-workload", "chaos", "-scheme", "NO_WAIT", "-runtime", "sim",
+		"-cores", "4", "-seed", "77", "-warmup", "40000", "-measure", "250000",
+	}
+	run := func() string {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("abyss-sim %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("repro command is not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	if !strings.Contains(first, "serializability check: PASS") {
+		t.Fatalf("expected a PASS verdict line, got:\n%s", first)
+	}
+}

@@ -163,6 +163,9 @@ func (s *HStore) unlockPartition(tx *core.TxnCtx, pid int) {
 // Read implements core.Scheme: with partition locks held, read in place
 // with no per-tuple work at all.
 func (s *HStore) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
+	// History capture: the partition lock excludes every writer of this
+	// slot (same partition), fixing the version this read observes.
+	tx.CaptureRead(t, slot)
 	tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
 	return t.Row(slot), nil
 }
@@ -171,6 +174,9 @@ func (s *HStore) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, erro
 // mutation under the partition lock, with an undo image for program-logic
 // rollbacks.
 func (s *HStore) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
+	// History capture: a write is a read-modify-write of the current
+	// committed version.
+	tx.CaptureRead(t, slot)
 	st := tx.State.(*txnState)
 	row := t.Row(slot)
 	have := false

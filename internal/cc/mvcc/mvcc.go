@@ -245,6 +245,9 @@ func (s *MVCC) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error)
 			if e.baseRTS < tx.TS {
 				e.baseRTS = tx.TS
 			}
+			// History capture: the base version's write timestamp (0 for
+			// a loaded row, the inserter's TS for a runtime insert).
+			tx.CaptureReadVer(t, slot, e.baseWTS)
 			tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
 			row := t.Row(slot)
 			e.latch.Release(tx.P, stats.Manager)
@@ -266,6 +269,9 @@ func (s *MVCC) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error)
 		if v.rts < tx.TS {
 			v.rts = tx.TS
 		}
+		// History capture: this read observes the chain version stamped
+		// v.wts.
+		tx.CaptureReadVer(t, slot, v.wts)
 		tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
 		data := v.data
 		e.latch.Release(tx.P, stats.Manager)
@@ -292,10 +298,11 @@ func (s *MVCC) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, er
 			return nil, core.ErrAbort
 		}
 
-		var prevRTS uint64
+		var prevRTS, prevWTS uint64
 		var prevData []byte
 		if i == -1 {
 			prevRTS = e.baseRTS
+			prevWTS = e.baseWTS
 			prevData = t.Row(slot)
 		} else {
 			v := &e.versions[i]
@@ -316,6 +323,7 @@ func (s *MVCC) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, er
 				continue
 			}
 			prevRTS = v.rts
+			prevWTS = v.wts
 			prevData = v.data
 		}
 
@@ -337,6 +345,9 @@ func (s *MVCC) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, er
 		} else if v := &e.versions[i]; v.rts < tx.TS {
 			v.rts = tx.TS
 		}
+		// History capture: the RMW reads the preceding version before
+		// installing its own at tx.TS.
+		tx.CaptureReadVer(t, slot, prevWTS)
 
 		// Install the pending version (sorted position: after i).
 		// The buffer comes from the worker's recycle stack when one is

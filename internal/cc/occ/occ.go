@@ -170,6 +170,10 @@ func (s *OCC) snapshot(tx *core.TxnCtx, t *storage.Table, slot int) readRec {
 	buf := tx.Alloc.Alloc(tx.P, stats.Manager, n)
 	e.latch.Acquire(tx.P, stats.Manager)
 	word := e.word.Load(tx.P, stats.Manager)
+	// History capture: the latch orders this sample against any
+	// committer's version bump; if the version later changes, validation
+	// fails and the captured read dies with the aborted transaction.
+	tx.CaptureRead(t, slot)
 	tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(n))
 	copy(buf, t.Row(slot))
 	tx.P.Tick(stats.Manager, costs.CopyCost(uint64(n)))

@@ -159,6 +159,9 @@ func (s *TO) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error) {
 		if e.rts < tx.TS {
 			e.rts = tx.TS
 		}
+		// History capture: under the latch, with earlier pending writes
+		// resolved, the live row is the committed version stamped e.wts.
+		tx.CaptureReadVer(t, slot, e.wts)
 		n := t.Schema.RowSize()
 		buf := tx.Alloc.Alloc(tx.P, stats.Manager, n)
 		tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(n))
@@ -201,6 +204,9 @@ func (s *TO) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, erro
 		if e.rts < tx.TS {
 			e.rts = tx.TS // the RMW reads the tuple
 		}
+		// History capture: the RMW reads the committed version e.wts
+		// before overwriting it.
+		tx.CaptureReadVer(t, slot, e.wts)
 		n := t.Schema.RowSize()
 		buf := tx.Alloc.Alloc(tx.P, stats.Manager, n)
 		tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(n))

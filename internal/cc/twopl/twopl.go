@@ -254,6 +254,9 @@ func (s *TwoPL) Read(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, error
 	if err := s.lock(tx, t, slot, modeShared); err != nil {
 		return nil, err
 	}
+	// History capture: the shared lock excludes committers, fixing the
+	// version this read observes.
+	tx.CaptureRead(t, slot)
 	tx.P.MemRead(stats.Useful, t.MemKey(slot), uint64(t.Schema.RowSize()))
 	return t.Row(slot), nil
 }
@@ -266,6 +269,9 @@ func (s *TwoPL) WriteRow(tx *core.TxnCtx, t *storage.Table, slot int) ([]byte, e
 	if err := s.lock(tx, t, slot, modeExcl); err != nil {
 		return nil, err
 	}
+	// History capture: a write is a read-modify-write of the current
+	// committed version (first declaration only; see captureRead).
+	tx.CaptureRead(t, slot)
 	st := tx.State.(*txnState)
 	row := t.Row(slot)
 	// One undo image per (table, slot) suffices; repeated writes by the

@@ -6,6 +6,7 @@ package cctest
 
 import (
 	"abyss1000/internal/core"
+	"abyss1000/internal/rt"
 	"abyss1000/internal/sim"
 	"abyss1000/internal/storage"
 )
@@ -33,18 +34,26 @@ type Fixture struct {
 // 8 bytes) on a `cores`-core simulator.
 func NewFixture(cores, rows int, seed int64) *Fixture {
 	eng := sim.New(cores, seed)
-	db := core.NewDB(eng)
+	db, tab := NewCounterDB(eng, rows)
+	return &Fixture{Engine: eng, DB: db, Table: tab}
+}
+
+// NewCounterDB builds the fixture's populated counter database on an
+// arbitrary runtime, for tests that drive both the simulator and the
+// native runtime (e.g. the capture-and-verify conformance pass).
+func NewCounterDB(r rt.Runtime, rows int) (*core.DB, *storage.Table) {
+	db := core.NewDB(r)
 	schema := storage.NewSchema("C",
 		storage.Col{Name: "KEY", Width: 8},
 		storage.Col{Name: "VAL", Width: 8},
 	)
-	tab := db.Catalog.Add(schema, rows+64, rows, cores)
+	tab := db.Catalog.Add(schema, rows+64, rows, r.NumProcs())
 	idx := db.AddIndex("C_PK", tab, rows)
 	for i := 0; i < rows; i++ {
 		schema.PutU64(tab.LoadRow(i), 0, uint64(i))
 		idx.LoadInsert(uint64(i), i)
 	}
-	return &Fixture{Engine: eng, DB: db, Table: tab}
+	return db, tab
 }
 
 // Get reads counter slot's value directly from the slab (valid for

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"abyss1000/internal/sercheck"
+	"abyss1000/internal/storage"
+)
+
+// Capture records the history of committed transactions — which row
+// versions each one read and which it wrote — for the serializability
+// checker in internal/sercheck. It is attached to a DB by Config.Capture
+// exactly like the WAL: a nil DB.Cap is the only cost when it is off,
+// and when it is on every operation is accounting-only (no Tick, Sync,
+// latch or billed memory traffic), so the schedule and the Result are
+// identical to an uncaptured run.
+//
+// Version identity is per (table, slot). For schemes whose same-slot
+// outcome is decided by commit order (2PL variants, OCC, H-STORE) a
+// per-slot counter is bumped at the scheme's commit point while its
+// locks or latches still pin the slot, so the counter order IS the
+// version order. Timestamp-ordered schemes (TIMESTAMP, MVCC) install
+// values in timestamp order regardless of commit arrival, so their
+// version id is the transaction timestamp and reads report the wts they
+// observed (TxnCtx.CaptureReadVer). Version 0 is the initially loaded
+// row in both regimes.
+//
+// Capture supports one measurement run on a freshly populated database:
+// the initial-state snapshot is taken when the run starts and version 0
+// must mean "untouched since load" for every slot.
+type Capture struct {
+	// vers[tableID][slot] is the committed-write counter; bumped and
+	// sampled only under the owning scheme's per-slot exclusion, so the
+	// plain (unbilled, non-atomic) slices are race-free on both runtimes.
+	vers [][]uint64
+
+	// init[tableID][slot] holds the post-population row images.
+	init []map[int][]byte
+
+	// logs[worker] collects that worker's committed transactions; workers
+	// only touch their own slice, and the runtime's Run join publishes
+	// them to the verifier.
+	logs [][]capTxn
+}
+
+type capAccess struct {
+	table int
+	slot  int
+	ver   uint64
+}
+
+type capWrite struct {
+	table int
+	slot  int
+	ver   uint64
+	image []byte // private copy, taken at the commit point
+}
+
+type capTxn struct {
+	worker int
+	ts     uint64
+	reads  []capAccess
+	writes []capWrite
+}
+
+// newCapture snapshots db's populated state (setup rows plus any slots
+// earlier runs inserted) as version 0 and sizes the version counters.
+func newCapture(db *DB) *Capture {
+	tables := db.Catalog.Tables()
+	c := &Capture{
+		vers: make([][]uint64, len(tables)),
+		init: make([]map[int][]byte, len(tables)),
+		logs: make([][]capTxn, db.RT.NumProcs()),
+	}
+	for _, t := range tables {
+		c.vers[t.ID] = make([]uint64, t.Capacity())
+		m := make(map[int][]byte, t.Loaded())
+		snap := func(slot int) {
+			img := make([]byte, t.Schema.RowSize())
+			copy(img, t.Row(slot))
+			m[slot] = img
+		}
+		for s := 0; s < t.Loaded(); s++ {
+			snap(s)
+		}
+		for seg := 0; seg < t.NumSegs(); seg++ {
+			start, next := t.SegRange(seg)
+			for s := start; s < next; s++ {
+				snap(s)
+			}
+		}
+		c.init[t.ID] = m
+	}
+	return c
+}
+
+// CaptureRead records that the transaction observed the current
+// committed version of (t, slot). Schemes whose version order is commit
+// order call it at the point their rules fix which version the read
+// sees — under the tuple lock, latch or partition lock, so the sample
+// is ordered against the counter bump of any concurrent committer.
+// No-op when capture is off; reads of the transaction's own writes and
+// repeat reads of the same slot are filtered out.
+func (tx *TxnCtx) CaptureRead(t *storage.Table, slot int) {
+	c := tx.DB.Cap
+	if c == nil {
+		return
+	}
+	tx.captureRead(t, slot, c.vers[t.ID][slot])
+}
+
+// CaptureReadVer is CaptureRead for timestamp-ordered schemes
+// (TIMESTAMP, MVCC): ver is the wts of the version the read observed.
+func (tx *TxnCtx) CaptureReadVer(t *storage.Table, slot int, ver uint64) {
+	if tx.DB.Cap == nil {
+		return
+	}
+	tx.captureRead(t, slot, ver)
+}
+
+func (tx *TxnCtx) captureRead(t *storage.Table, slot int, ver uint64) {
+	// A read of our own pending write carries no dependency.
+	for i := range tx.walWrites {
+		w := &tx.walWrites[i]
+		if w.t == t && w.slot == slot {
+			return
+		}
+	}
+	// Every scheme gives repeatable reads within one transaction, so the
+	// first record of a slot is THE version this transaction saw.
+	for i := range tx.capReads {
+		r := &tx.capReads[i]
+		if r.table == t.ID && r.slot == slot {
+			return
+		}
+	}
+	tx.capReads = append(tx.capReads, capAccess{table: t.ID, slot: slot, ver: ver})
+}
+
+// commitPoint assigns this transaction's write versions. Called from
+// LogCommit, i.e. at the scheme's commit point: counter schemes still
+// hold their write locks/latches here, so the bump is exclusive per
+// slot and ordered against every reader's sample.
+func (c *Capture) commitPoint(tx *TxnCtx) {
+	for i := range tx.walWrites {
+		w := &tx.walWrites[i]
+		ver := tx.TS
+		if !tx.W.tsOrdered {
+			c.vers[w.t.ID][w.slot]++
+			ver = c.vers[w.t.ID][w.slot]
+		}
+		img := make([]byte, len(w.buf))
+		copy(img, w.buf)
+		tx.capWrites = append(tx.capWrites, capWrite{table: w.t.ID, slot: w.slot, ver: ver, image: img})
+	}
+}
+
+// captureInsert records a committed insert's write. Called from
+// applyInserts before the index entry is published, so no reader can
+// sample the slot's counter before the bump.
+func (c *Capture) captureInsert(tx *TxnCtx, t *storage.Table, slot int, buf []byte) {
+	ver := tx.TS
+	if !tx.W.tsOrdered {
+		c.vers[t.ID][slot]++
+		ver = c.vers[t.ID][slot]
+	}
+	img := make([]byte, len(buf))
+	copy(img, buf)
+	tx.capWrites = append(tx.capWrites, capWrite{table: t.ID, slot: slot, ver: ver, image: img})
+}
+
+// captureFinish appends the completed transaction to its worker's log.
+// Called only on the committed path, after applyInserts; rolled-back
+// transactions leave nothing behind.
+func (tx *TxnCtx) captureFinish() {
+	c := tx.DB.Cap
+	if c == nil {
+		return
+	}
+	if len(tx.capReads) == 0 && len(tx.capWrites) == 0 {
+		return
+	}
+	id := tx.P.ID()
+	c.logs[id] = append(c.logs[id], capTxn{
+		worker: id,
+		ts:     tx.TS,
+		reads:  append([]capAccess(nil), tx.capReads...),
+		writes: append([]capWrite(nil), tx.capWrites...),
+	})
+}
+
+// Committed returns the number of transactions the capture recorded.
+func (c *Capture) Committed() int {
+	n := 0
+	for _, l := range c.logs {
+		n += len(l)
+	}
+	return n
+}
+
+// BuildHistory assembles the captured run into the checker's input: the
+// initial snapshot, every worker's committed transactions (IDs assigned
+// deterministically by worker then commit order), and the engine's
+// final committed state read the same way DumpState reads it (the live
+// row, or the scheme's LatestCommitted for MVCC). Quiesced use only.
+func BuildHistory(db *DB, scheme Scheme) *sercheck.History {
+	c := db.Cap
+	if c == nil {
+		panic("core: BuildHistory without Config.Capture")
+	}
+	var cr CommittedRower
+	if scheme != nil {
+		cr, _ = scheme.(CommittedRower)
+	}
+	row := func(t *storage.Table, slot int) []byte {
+		if cr != nil {
+			if img := cr.LatestCommitted(t, slot); img != nil {
+				return img
+			}
+		}
+		return t.Row(slot)
+	}
+	h := &sercheck.History{}
+	for _, t := range db.Catalog.Tables() {
+		final := make(map[int][]byte, t.Loaded())
+		dump := func(slot int) {
+			img := make([]byte, t.Schema.RowSize())
+			copy(img, row(t, slot))
+			final[slot] = img
+		}
+		for s := 0; s < t.Loaded(); s++ {
+			dump(s)
+		}
+		for seg := 0; seg < t.NumSegs(); seg++ {
+			start, next := t.SegRange(seg)
+			for s := start; s < next; s++ {
+				dump(s)
+			}
+		}
+		h.Tables = append(h.Tables, sercheck.Table{
+			ID:      t.ID,
+			Name:    t.Schema.Name,
+			RowSize: t.Schema.RowSize(),
+			Init:    c.init[t.ID],
+			Final:   final,
+		})
+	}
+	id := 0
+	for _, l := range c.logs {
+		for i := range l {
+			ct := &l[i]
+			id++
+			txn := sercheck.Txn{ID: id, Worker: ct.worker, TS: ct.ts}
+			for _, r := range ct.reads {
+				txn.Reads = append(txn.Reads, sercheck.Access{Table: r.table, Slot: r.slot, Ver: r.ver})
+			}
+			for _, w := range ct.writes {
+				txn.Writes = append(txn.Writes, sercheck.Write{Table: w.table, Slot: w.slot, Ver: w.ver, Image: w.image})
+			}
+			h.Txns = append(h.Txns, txn)
+		}
+	}
+	return h
+}
+
+// VerifyCapture builds the captured history and checks it for
+// serializability and final-state equivalence.
+func VerifyCapture(db *DB, scheme Scheme) *sercheck.Report {
+	return sercheck.Check(BuildHistory(db, scheme))
+}

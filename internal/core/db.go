@@ -61,6 +61,12 @@ type DB struct {
 	// each run's log span so replay resets its version floors when a new
 	// run restarts timestamp allocation.
 	walEpoch uint64
+
+	// Cap, when non-nil, records committed read/write versions for the
+	// serializability checker (set per run by Config.Capture). Like the
+	// WAL it is accounting-only: nil checks are the only overhead when
+	// off, and the schedule is unchanged when on.
+	Cap *Capture
 }
 
 // NewDB creates an empty database on r.

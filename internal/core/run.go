@@ -30,6 +30,14 @@ type Config struct {
 	// accounting-only: it never perturbs the schedule or the final
 	// Result. Zero disables sampling.
 	SampleEvery uint64
+
+	// Capture, when true, attaches a history capture (DB.Cap) recording
+	// every committed transaction's read and write versions for the
+	// serializability checker (VerifyCapture). Accounting-only, like the
+	// WAL: the schedule and the Result are identical either way. Capture
+	// expects a freshly populated database, where version 0 uniformly
+	// means "untouched since load".
+	Capture bool
 }
 
 // DefaultConfig returns a window sized for quick experiments: 0.4 ms of
@@ -149,6 +157,12 @@ func RunObserved(db *DB, scheme Scheme, wl Workload, cfg Config, obs Observer) R
 		panic(err)
 	}
 	scheme.Setup(db)
+	if cfg.Capture {
+		// Snapshot the post-population state as version 0 of every slot.
+		db.Cap = newCapture(db)
+	} else {
+		db.Cap = nil
+	}
 	if db.Wal != nil {
 		// Open the run's log span. Replay resets its timestamp version
 		// floors at the epoch boundary, because this run's transactions

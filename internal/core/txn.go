@@ -114,12 +114,17 @@ type TxnCtx struct {
 	inserts []insertRec
 	tuples  uint64
 
-	// walWrites collects write targets while the WAL is attached; logged
-	// flips when the commit record has been appended (schemes call
-	// LogCommit at their commit point; the worker's post-Commit call is a
-	// no-op fallback for schemes without a hook).
+	// walWrites collects write targets while the WAL or history capture
+	// is attached; logged flips when the commit record has been appended
+	// (schemes call LogCommit at their commit point; the worker's
+	// post-Commit call is a no-op fallback for schemes without a hook).
 	walWrites []walWrite
 	logged    bool
+
+	// capReads/capWrites accumulate the transaction's history-capture
+	// record while DB.Cap is attached (see capture.go).
+	capReads  []capAccess
+	capWrites []capWrite
 }
 
 func (tx *TxnCtx) reset() {
@@ -128,6 +133,8 @@ func (tx *TxnCtx) reset() {
 	tx.TS = 0
 	tx.walWrites = tx.walWrites[:0]
 	tx.logged = false
+	tx.capReads = tx.capReads[:0]
+	tx.capWrites = tx.capWrites[:0]
 	tx.Alloc.Reset()
 }
 
@@ -158,7 +165,7 @@ func (tx *TxnCtx) UpdateRow(t *storage.Table, slot int) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tx.DB.Wal != nil {
+	if tx.DB.Wal != nil || tx.DB.Cap != nil {
 		tx.captureWrite(t, slot, row)
 	}
 	tx.P.Tick(stats.Useful, costs.UsefulPerRow)
@@ -193,10 +200,19 @@ func (tx *TxnCtx) captureWrite(t *storage.Table, slot int, buf []byte) {
 // byte-identical to a run without durability.
 func (tx *TxnCtx) LogCommit() {
 	lw := tx.DB.Wal
-	if lw == nil || tx.logged {
+	if (lw == nil && tx.DB.Cap == nil) || tx.logged {
 		return
 	}
 	tx.logged = true
+	if c := tx.DB.Cap; c != nil {
+		// The history capture shares the commit point: write versions are
+		// assigned here, while the scheme's locks or latches still pin
+		// every written slot (see capture.go).
+		c.commitPoint(tx)
+	}
+	if lw == nil {
+		return
+	}
 	if len(tx.walWrites) == 0 && len(tx.inserts) == 0 {
 		return
 	}
@@ -257,6 +273,9 @@ func (tx *TxnCtx) applyInserts() {
 		copy(t.Row(slot), rec.buf)
 		tx.P.MemWrite(stats.Useful, t.MemKey(slot), uint64(len(rec.buf)))
 		tx.W.Scheme.InitTuple(tx, t, slot)
+		if c := tx.DB.Cap; c != nil {
+			c.captureInsert(tx, t, slot, rec.buf)
+		}
 		rec.idx.Insert(tx.P, rec.key, slot)
 	}
 }

@@ -81,6 +81,7 @@ func (w *Worker) ExecOnce(txn Txn) error {
 			w.Ctx.LogCommit()
 			w.Ctx.applyInserts()
 			w.finishDurable()
+			w.Ctx.captureFinish()
 			if h, ok := txn.(CommitHook); ok {
 				h.Committed()
 			}
@@ -213,6 +214,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 				w.Ctx.LogCommit()
 				w.Ctx.applyInserts()
 				w.finishDurable()
+				w.Ctx.captureFinish()
 			}
 		}
 

@@ -62,6 +62,7 @@ type registerTxn struct {
 	worker int
 	keys   []int
 	writes []bool
+	parts  []int
 	uniq   uint64 // per-worker unique value counter
 	log    RegisterTxnLog
 }
@@ -85,6 +86,7 @@ func (w *RegisterWorkload) Next(p rt.Proc) core.Txn {
 			t.writes = append(t.writes, p.Rand().Intn(2) == 0)
 		}
 	}
+	t.parts = partitionsOf(t.parts[:0], t.keys, w.db.NParts)
 	return t
 }
 
@@ -127,8 +129,9 @@ func (t *registerTxn) Run(tx *core.TxnCtx) error {
 	return nil
 }
 
-// Partitions implements core.Txn.
-func (t *registerTxn) Partitions() []int { return nil }
+// Partitions implements core.Txn (registers partition by slot mod
+// NParts, like the other history workloads).
+func (t *registerTxn) Partitions() []int { return t.parts }
 
 // CheckTimestampOrder replays all committed logs serially in timestamp
 // order and verifies every read observed exactly the value the serial
