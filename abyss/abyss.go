@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"abyss1000/internal/core"
@@ -184,6 +185,11 @@ type DB struct {
 	wal        *wal.Writer
 	logSink    LogSink
 	lastScheme Scheme
+
+	// stop is the cooperative interruption flag wired into every Run as
+	// core.Config.Stop; Interrupt sets it. Workers poll it at transaction
+	// boundaries only, so an idle flag costs one nil-check per txn.
+	stop atomic.Bool
 }
 
 // Open validates opts and creates an empty database on the selected
@@ -384,6 +390,45 @@ type RunConfig struct {
 	// DB.History exposes it. Accounting-only, like SampleEvery — the
 	// Result is identical with it on or off. See check.go.
 	Check bool
+
+	// Arrivals switches the run from the paper's closed loop (one
+	// outstanding transaction per worker) to open-loop offered load: a
+	// seed-deterministic Poisson or bursty MMPP arrival process feeding
+	// per-worker admission queues. The zero value keeps the closed loop.
+	// See overload.go for the overload tier's semantics.
+	Arrivals Arrivals
+
+	// QueueDepth bounds each worker's admission queue in open-loop runs;
+	// arrivals past the bound are shed (Result.Shed). Zero means
+	// unbounded — admission control off. Requires Arrivals.
+	QueueDepth int
+
+	// ShedTypes lists transaction type names (comma-separated) to shed
+	// preferentially once a queue passes its high-water mark. Requires
+	// Arrivals and a workload that declares its types (Mix does).
+	ShedTypes string
+
+	// Deadline abandons a transaction not committed within this many
+	// cycles of its arrival (open loop) or first attempt (closed loop):
+	// it fails as ErrDeadline instead of retrying forever, counted in
+	// Result.Deadlined. Zero disables deadlines.
+	Deadline uint64
+
+	// RetryLimit abandons a transaction after this many failed attempts
+	// (1 means no retries); abandoned transactions count in
+	// Result.Deadlined. Zero means unlimited retries.
+	RetryLimit int
+
+	// BackoffCap turns the fixed AbortBackoff restart penalty into
+	// capped exponential backoff: the mean doubles per consecutive
+	// failure up to this cap, with jitter drawn deterministically from
+	// the worker's seeded RNG. Zero keeps the fixed mean.
+	BackoffCap uint64
+
+	// Fault, when non-nil, injects stalls at transaction boundaries —
+	// see StalledWorkerFault, SlowPartitionFault, LatencySpikeFault and
+	// ComposeFaults. Billed to the Idle breakdown component.
+	Fault FaultInjector
 }
 
 // DefaultRunConfig returns a window sized for quick experiments on this
@@ -424,6 +469,9 @@ func (db *DB) prepareRun(scheme Scheme, wl Workload, cfg RunConfig) error {
 			return fmt.Errorf("abyss: RunConfig.SampleEvery (%d) yields %d sample intervals over MeasureCycles (%d); at most %d are allowed — use a coarser sampling period", cfg.SampleEvery, n, cfg.MeasureCycles, core.MaxSampleIntervals)
 		}
 	}
+	if err := validateOverload(cfg); err != nil {
+		return err
+	}
 	if db.ran {
 		return fmt.Errorf("abyss: this DB already ran an experiment; Open a fresh DB per Run/Go")
 	}
@@ -453,6 +501,14 @@ func (db *DB) runMeasured(scheme Scheme, wl Workload, cfg RunConfig) (res Result
 		AbortBackoff:  cfg.AbortBackoff,
 		SampleEvery:   cfg.SampleEvery,
 		Capture:       cfg.Check,
+		Arrivals:      cfg.Arrivals,
+		QueueDepth:    cfg.QueueDepth,
+		ShedTypes:     cfg.ShedTypes,
+		Deadline:      cfg.Deadline,
+		RetryLimit:    cfg.RetryLimit,
+		BackoffCap:    cfg.BackoffCap,
+		Fault:         cfg.Fault,
+		Stop:          &db.stop,
 	}, cfg.Observer)
 	return res, nil
 }

@@ -41,6 +41,19 @@
 // Result identical to an unobserved one, and on the simulated runtime the
 // entire schedule is unchanged.
 //
+// Overload behaviour is part of the surface, not an accident. RunConfig
+// can open the loop — a Poisson or bursty MMPP arrival process
+// (Arrivals) offering load the system did not ask for — with bounded
+// per-worker admission queues (QueueDepth, ShedTypes) that shed excess
+// up front, per-transaction deadlines and retry budgets (Deadline,
+// RetryLimit, failing as ErrDeadline into Result.Deadlined), capped
+// exponential backoff (BackoffCap), and fault injection (Fault; see
+// StalledWorkerFault and friends). Result then separates offered load
+// from goodput (OfferedTPS, GoodputTPS, Shed, QueueDepth), Interrupt
+// ends an in-flight run gracefully with a partial Result, and with
+// every knob at zero the closed loop is byte-identical to previous
+// releases.
+//
 // Correctness is checkable, not assumed: set RunConfig.Check and the run
 // captures every committed transaction's reads and writes as versions
 // (accounting-only, like sampling); DB.CheckSerializability then builds

@@ -1,0 +1,134 @@
+package abyss
+
+// The public surface of the engine's overload-robustness tier: open-loop
+// arrival processes, admission control and load shedding, deadlines and
+// retry budgets, fault injection, and graceful interruption. All of it is
+// opt-in through RunConfig; a RunConfig with the overload fields at their
+// zero values runs the paper's closed loop byte-identically to previous
+// releases.
+
+import (
+	"fmt"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/faultinject"
+)
+
+type (
+	// Arrivals configures open-loop offered load for RunConfig.Arrivals:
+	// the process (Poisson or MMPP), aggregate rates in transactions per
+	// second, MMPP dwell times, and the arrival-stream seed. The zero
+	// value keeps the closed loop.
+	Arrivals = core.Arrivals
+
+	// ArrivalProcess selects the arrival generator; see ArrivalClosed,
+	// ArrivalPoisson and ArrivalMMPP.
+	ArrivalProcess = core.ArrivalProcess
+
+	// FaultInjector maps (worker, now) to extra stall cycles injected at
+	// transaction boundaries; see StalledWorkerFault, SlowPartitionFault,
+	// LatencySpikeFault and ComposeFaults for stock injectors.
+	FaultInjector = core.FaultInjector
+)
+
+// Arrival process selectors for Arrivals.Process.
+const (
+	// ArrivalClosed is the paper's closed loop (the default): one
+	// outstanding transaction per worker.
+	ArrivalClosed = core.ArrivalClosed
+
+	// ArrivalPoisson offers a Poisson stream at Arrivals.RateTPS.
+	ArrivalPoisson = core.ArrivalPoisson
+
+	// ArrivalMMPP offers a bursty two-state Markov-modulated Poisson
+	// stream: RateTPS when calm, BurstRateTPS in bursts, exponential
+	// dwell times with means CalmCycles and BurstCycles.
+	ArrivalMMPP = core.ArrivalMMPP
+)
+
+// ErrDeadline classifies a transaction abandoned by overload control —
+// its deadline passed or its retry budget ran out before it could commit.
+// Abandoned transactions count in Result.Deadlined, separately from
+// concurrency-control aborts.
+var ErrDeadline = core.ErrDeadline
+
+// Interrupt asks an in-flight Run (or RunStream) on this DB to finish
+// early: every worker completes its current transaction, stops drawing
+// new work, and the Run returns a Result covering the window served so
+// far. Safe to call from any goroutine — typically a signal handler —
+// and safe to call before or after the run, or more than once. There is
+// no rewind: once interrupted, the DB's single measurement is spent.
+func (db *DB) Interrupt() { db.stop.Store(true) }
+
+// Interrupted reports whether Interrupt has been called on this DB.
+func (db *DB) Interrupted() bool { return db.stop.Load() }
+
+// StalledWorkerFault freezes one worker for the window [from, until) of
+// run time, modeling a descheduled or wedged thread.
+func StalledWorkerFault(worker int, from, until uint64) FaultInjector {
+	return faultinject.StalledWorker{Worker: worker, From: from, Until: until}
+}
+
+// SlowPartitionFault charges workers [first, first+count) an extra per-
+// transaction penalty while [from, until) is open (zero until means the
+// whole run), modeling a partition on a degraded device.
+func SlowPartitionFault(first, count int, extra, from, until uint64) FaultInjector {
+	return faultinject.SlowPartition{First: first, Count: count, Extra: extra, From: from, Until: until}
+}
+
+// LatencySpikeFault stalls every worker for duration cycles at the start
+// of each period, modeling periodic interference (GC pauses, checkpoint
+// flushes).
+func LatencySpikeFault(period, duration uint64) FaultInjector {
+	return faultinject.LatencySpike{Period: period, Duration: duration}
+}
+
+// ComposeFaults overlays injectors; the injected stall at any point is
+// the maximum over the members.
+func ComposeFaults(faults ...FaultInjector) FaultInjector {
+	m := make(faultinject.Multi, len(faults))
+	for i, f := range faults {
+		m[i] = f
+	}
+	return m
+}
+
+// validateOverload rejects overload configurations at the public
+// boundary with abyss-phrased errors; the engine re-validates (and would
+// panic) behind it.
+func validateOverload(cfg RunConfig) error {
+	switch cfg.Arrivals.Process {
+	case ArrivalClosed:
+		if cfg.Arrivals.RateTPS != 0 || cfg.Arrivals.BurstRateTPS != 0 {
+			return fmt.Errorf("abyss: RunConfig.Arrivals.RateTPS is set but Process is the closed loop; set Arrivals.Process to ArrivalPoisson or ArrivalMMPP")
+		}
+	case ArrivalPoisson:
+		if cfg.Arrivals.RateTPS <= 0 {
+			return fmt.Errorf("abyss: ArrivalPoisson needs Arrivals.RateTPS > 0 (offered load in txn/s)")
+		}
+	case ArrivalMMPP:
+		if cfg.Arrivals.RateTPS <= 0 || cfg.Arrivals.BurstRateTPS <= 0 {
+			return fmt.Errorf("abyss: ArrivalMMPP needs Arrivals.RateTPS and BurstRateTPS > 0 (calm and burst offered load in txn/s)")
+		}
+		if cfg.Arrivals.BurstCycles == 0 || cfg.Arrivals.CalmCycles == 0 {
+			return fmt.Errorf("abyss: ArrivalMMPP needs nonzero Arrivals.BurstCycles and CalmCycles (mean dwell times)")
+		}
+	default:
+		return fmt.Errorf("abyss: unknown Arrivals.Process %d", int(cfg.Arrivals.Process))
+	}
+	if cfg.QueueDepth < 0 {
+		return fmt.Errorf("abyss: RunConfig.QueueDepth must not be negative, got %d", cfg.QueueDepth)
+	}
+	if cfg.RetryLimit < 0 {
+		return fmt.Errorf("abyss: RunConfig.RetryLimit must not be negative, got %d", cfg.RetryLimit)
+	}
+	if cfg.Arrivals.Process == ArrivalClosed {
+		if cfg.QueueDepth > 0 {
+			return fmt.Errorf("abyss: RunConfig.QueueDepth needs an open-loop arrival process; set RunConfig.Arrivals")
+		}
+		if cfg.ShedTypes != "" {
+			return fmt.Errorf("abyss: RunConfig.ShedTypes needs an open-loop arrival process; set RunConfig.Arrivals")
+		}
+	}
+	return nil
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"abyss1000/internal/core"
 	"abyss1000/internal/sim"
@@ -57,9 +58,36 @@ func GoldenSignatureCaptured() string {
 	return goldenSignature(0, nil, false, true)
 }
 
-func goldenSignature(every uint64, obs core.Observer, durable, captured bool) string {
+// GoldenSignatureOverloadOff is GoldenSignature with the overload tier's
+// plumbing attached but every knob at zero: a live (never-set) Stop flag
+// and a fault injector that always returns zero delay, with the closed
+// loop, no queue bound, no deadline and no retry budget. The overload
+// tier promises that disengaged knobs leave the paper's closed-loop
+// schedule untouched — the returned string must be byte-identical to
+// GoldenSignature(), which the overload golden test pins.
+func GoldenSignatureOverloadOff() string {
+	return goldenSignature(0, nil, false, false, overloadOff)
+}
+
+// zeroFault is a fault injector that never injects: the worker loop sees
+// a non-nil Fault (so the overload code path is live) but zero delay.
+type zeroFault struct{}
+
+// Delay implements core.FaultInjector.
+func (zeroFault) Delay(int, uint64) uint64 { return 0 }
+
+// overloadOff wires the overload tier into a config without engaging it.
+func overloadOff(cfg *core.Config) {
+	cfg.Stop = new(atomic.Bool)
+	cfg.Fault = zeroFault{}
+}
+
+func goldenSignature(every uint64, obs core.Observer, durable, captured bool, mutate ...func(*core.Config)) string {
 	var b strings.Builder
 	cfg := core.Config{WarmupCycles: 50_000, MeasureCycles: 200_000, AbortBackoff: 1000, SampleEvery: every, Capture: captured}
+	for _, m := range mutate {
+		m(&cfg)
+	}
 	attach := func(db *core.DB) {
 		if durable {
 			db.Wal = wal.NewWriter(wal.NewMemSink(), wal.Config{})

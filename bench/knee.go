@@ -1,0 +1,67 @@
+package bench
+
+// The overload-knee extension: the paper's evaluation is entirely
+// closed-loop (one outstanding transaction per worker), which can never
+// show what happens when offered load exceeds capacity. This experiment
+// drives the same write-intensive YCSB point open-loop across a fixed
+// ladder of offered loads with a bounded admission queue, and plots
+// goodput against offered load. Below the knee the curve tracks the
+// diagonal (everything offered commits); past it, goodput plateaus at the
+// scheme's capacity while admission control sheds the excess — the queue
+// stays bounded instead of growing without limit.
+
+import (
+	"fmt"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/tsalloc"
+)
+
+// kneeQueueDepth bounds each worker's admission queue for every knee
+// point; small enough that queueing delay stays a handful of service
+// times, large enough to absorb Poisson burstiness below the knee.
+const kneeQueueDepth = 16
+
+// kneeOffered is the offered-load ladder in transactions per second,
+// chosen to straddle every scheme's capacity at the experiment's core
+// count (16 simulated cores at 1 GHz serve roughly 2-8 Mtxn/s on this
+// workload depending on the scheme). The ladder is fixed — not derived
+// from measured capacity — because figure control flow must not depend
+// on results (see runner.go).
+var kneeOffered = []float64{250_000, 500_000, 1e6, 2e6, 4e6, 8e6, 16e6}
+
+// kneeJob describes one open-loop point: the closed-loop YCSB job plus
+// Poisson arrivals at the given offered load and a bounded admission
+// queue. The arrival stream reuses the run seed, so the whole figure
+// stays deterministic for a given -seed.
+func (p Params) kneeJob(scheme string, cores int, rate float64) Job {
+	j := p.ycsbJob(scheme, tsalloc.Atomic, cores, p.ycsbBase())
+	j.YCSB.ReadPct = 0.5
+	j.YCSB.Theta = 0.6
+	j.Cfg.Arrivals = core.Arrivals{Process: core.ArrivalPoisson, RateTPS: rate, Seed: p.Seed}
+	j.Cfg.QueueDepth = kneeQueueDepth
+	j.Cfg.BackoffCap = 8_000
+	return j
+}
+
+// ExtensionKnee builds the offered-vs-goodput knee figure: one series per
+// tuple-level scheme, x = offered load (ktxn/s), y = goodput (ktxn/s).
+func ExtensionKnee(p Params, pl *Plan) *Figure {
+	cores := p.capCores(16)
+	fig := &Figure{
+		ID:     "Knee",
+		Title:  fmt.Sprintf("Overload knee: offered load vs goodput (YCSB theta=0.6, %d cores, queue depth %d)", cores, kneeQueueDepth),
+		XLabel: "offered ktxn/s",
+		YLabel: "goodput ktxn/s",
+		Notes:  "open-loop Poisson arrivals with bounded admission queues; below the knee goodput tracks offered load, past it admission control sheds the excess",
+	}
+	for _, name := range SchemeNames {
+		s := Series{Name: name}
+		for _, rate := range kneeOffered {
+			r := pl.Run(p.kneeJob(name, cores, rate))
+			s.addPoint(rate/1e3, r, func(r core.Result) float64 { return r.GoodputTPS() / 1e3 })
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}

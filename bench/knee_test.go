@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"abyss1000/internal/core"
+	"abyss1000/internal/tsalloc"
+)
+
+// TestKneeExperiment smoke-runs the overload-knee extension at tiny scale
+// and checks its defining shape: below the knee nearly everything offered
+// commits; far past it admission control sheds and goodput stays well
+// under the offered load.
+func TestKneeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~40 small open-loop simulations")
+	}
+	p := tinyParams()
+	e, err := Lookup("knee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := e.Build(p, nil)
+	if len(fig.Series) != len(SchemeNames) {
+		t.Fatalf("knee has %d series, want %d", len(fig.Series), len(SchemeNames))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != len(kneeOffered) {
+			t.Fatalf("series %s has %d points, want %d", s.Name, len(s.Points), len(kneeOffered))
+		}
+		lo, hi := s.Points[0].Res, s.Points[len(s.Points)-1].Res
+		if lo.Offered == 0 || hi.Offered == 0 {
+			t.Fatalf("series %s offered nothing: lo %+v hi %+v", s.Name, lo, hi)
+		}
+		if f := lo.ShedFraction(); f > 0.1 {
+			t.Errorf("series %s sheds %.0f%% at the bottom of the ladder", s.Name, f*100)
+		}
+		if hi.Shed == 0 {
+			t.Errorf("series %s sheds nothing at %.0f offered txn/s", s.Name, kneeOffered[len(kneeOffered)-1])
+		}
+		if hi.GoodputTPS() >= kneeOffered[len(kneeOffered)-1]/2 {
+			t.Errorf("series %s goodput %.0f did not fall below half the offered %.0f",
+				s.Name, hi.GoodputTPS(), kneeOffered[len(kneeOffered)-1])
+		}
+		if hi.QueueDepth.Max() > kneeQueueDepth {
+			t.Errorf("series %s queue depth %d exceeds the %d bound", s.Name, hi.QueueDepth.Max(), kneeQueueDepth)
+		}
+	}
+	// The knee figure is a pure sweep: serial and pooled builds agree.
+	par := e.Build(p, &Runner{Workers: 4})
+	if fig.Format() != par.Format() {
+		t.Error("knee figure differs between serial and parallel builds")
+	}
+}
+
+// TestRunnerStopDrains pins the graceful-interruption contract of the
+// pool: once Stop is raised, in-flight jobs drain normally, undispatched
+// jobs yield zero Results, and the completed prefix is intact.
+func TestRunnerStopDrains(t *testing.T) {
+	p := tinyParams()
+	var jobs []Job
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, p.tsallocJob(tsalloc.Atomic, 2))
+	}
+	var stop atomic.Bool
+	r := &Runner{Workers: 1, Stop: &stop, OnProgress: func(pr Progress) {
+		if pr.Done == 1 {
+			stop.Store(true)
+		}
+	}}
+	results := r.Execute(jobs)
+	if results[0].Commits == 0 {
+		t.Fatal("first job should have completed before the stop")
+	}
+	// With one worker, the stop raised during job 0's completion is
+	// visible at latest when job 2 would dispatch.
+	for i := 2; i < len(jobs); i++ {
+		if results[i].Commits != 0 {
+			t.Errorf("job %d ran after the stop", i)
+		}
+	}
+}
+
+// TestSerialStopSkipsRemainingPoints pins the same contract on the serial
+// (direct) path: a stop raised mid-figure zeroes the remaining points
+// without derailing figure assembly.
+func TestSerialStopSkipsRemainingPoints(t *testing.T) {
+	p := tinyParams()
+	var stop atomic.Bool
+	fn := func(p Params, pl *Plan) *Figure {
+		fig := &Figure{ID: "stoptest"}
+		s := Series{Name: "n"}
+		for i := 0; i < 4; i++ {
+			r := pl.Run(p.tsallocJob(tsalloc.Atomic, 1))
+			s.addPoint(float64(i), r, func(r core.Result) float64 { return float64(r.Commits) })
+			if i == 0 {
+				stop.Store(true)
+			}
+		}
+		fig.Series = append(fig.Series, s)
+		return fig
+	}
+	fig := Build(fn, p, &Runner{Workers: 1, Stop: &stop})
+	pts := fig.Series[0].Points
+	if pts[0].Res.Commits == 0 {
+		t.Fatal("first point should have run")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Res.Commits != 0 {
+			t.Errorf("point %d ran after the stop", i)
+		}
+	}
+}

@@ -71,6 +71,8 @@ func csvColumns() []string {
 		"experiment", "figure", "series", "x", "y",
 		"scheme", "workers", "commits", "aborts", "tuples",
 		"measure_cycles", "frequency_hz", "throughput_txn_s", "abort_fraction",
+		"offered_tps", "goodput_tps", "shed", "deadlined",
+		"queue_depth_p50", "queue_depth_max",
 		"lat_p50_cycles", "lat_p95_cycles", "lat_p99_cycles", "lat_max_cycles",
 	}
 	for c := stats.Component(0); c < stats.NumComponents; c++ {
@@ -126,6 +128,12 @@ func (rep *Report) CSV() string {
 					formatFloat(r.Frequency),
 					formatFloat(finite(r.Throughput())),
 					formatFloat(finite(r.AbortFraction())),
+					formatFloat(finite(r.OfferedTPS())),
+					formatFloat(finite(r.GoodputTPS())),
+					strconv.FormatUint(r.Shed, 10),
+					strconv.FormatUint(r.Deadlined, 10),
+					strconv.FormatUint(r.QueueDepth.P50(), 10),
+					strconv.FormatUint(r.QueueDepth.Max(), 10),
 					strconv.FormatUint(r.Latency.P50(), 10),
 					strconv.FormatUint(r.Latency.P95(), 10),
 					strconv.FormatUint(r.Latency.P99(), 10),
@@ -167,6 +175,8 @@ type pointJSON struct {
 	Result        core.Result `json:"result"`
 	Throughput    float64     `json:"throughput_txn_s"`
 	AbortFraction float64     `json:"abort_fraction"`
+	OfferedTPS    float64     `json:"offered_tps"`
+	GoodputTPS    float64     `json:"goodput_tps"`
 	LatP50        uint64      `json:"lat_p50_cycles"`
 	LatP95        uint64      `json:"lat_p95_cycles"`
 	LatP99        uint64      `json:"lat_p99_cycles"`
@@ -181,6 +191,8 @@ func (pt Point) MarshalJSON() ([]byte, error) {
 		Result:        pt.Res,
 		Throughput:    finite(pt.Res.Throughput()),
 		AbortFraction: finite(pt.Res.AbortFraction()),
+		OfferedTPS:    finite(pt.Res.OfferedTPS()),
+		GoodputTPS:    finite(pt.Res.GoodputTPS()),
 		LatP50:        pt.Res.Latency.P50(),
 		LatP95:        pt.Res.Latency.P95(),
 		LatP99:        pt.Res.Latency.P99(),

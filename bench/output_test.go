@@ -20,8 +20,13 @@ func testReport() (*Report, int) {
 	for i := uint64(0); i < 2000; i++ {
 		lat.Record(500 + i)
 	}
+	var qd stats.Histogram
+	for i := uint64(0); i < 100; i++ {
+		qd.Record(i % 8)
+	}
 	res := core.Result{
 		Scheme: "NO_WAIT", Workers: 4, Commits: 2000, Aborts: 500, Tuples: 32000,
+		Offered: 3000, Shed: 400, Deadlined: 100, QueueDepth: qd,
 		MeasureCycles: 1_000_000, Frequency: 1e9, Breakdown: bd, Latency: lat,
 		PerTxn: []core.TxnStats{
 			{Name: "read", Commits: 1200, Aborts: 300, Latency: lat},
@@ -111,12 +116,13 @@ func TestReportCSV(t *testing.T) {
 		t.Fatalf("CSV has %d lines, want header + %d points:\n%s", len(lines), points, out)
 	}
 	header := strings.Split(lines[0], ",")
-	wantCols := 18 + int(stats.NumComponents) + 1
+	wantCols := 24 + int(stats.NumComponents) + 1
 	if len(header) != wantCols {
 		t.Fatalf("CSV header has %d columns, want %d: %v", len(header), wantCols, header)
 	}
 	for _, col := range []string{
 		"experiment", "scheme", "commits", "throughput_txn_s", "useful_cycles", "manager_cycles",
+		"offered_tps", "goodput_tps", "shed", "deadlined", "queue_depth_p50", "queue_depth_max",
 		"lat_p50_cycles", "lat_p95_cycles", "lat_p99_cycles", "lat_max_cycles", "per_txn",
 	} {
 		found := false
@@ -138,10 +144,22 @@ func TestReportCSV(t *testing.T) {
 	if row[0] != "T" || row[5] != "NO_WAIT" || row[7] != "2000" {
 		t.Errorf("unexpected first row: %v", row)
 	}
+	// The overload columns carry the result's accounting: offered and
+	// goodput rates (3000 and 2000 txns over the 1 ms window), shed and
+	// deadlined counts, and the queue-depth percentiles.
+	if row[14] != "3e+06" || row[15] != "2e+06" {
+		t.Errorf("offered/goodput tps = %q/%q, want 3e+06/2e+06", row[14], row[15])
+	}
+	if row[16] != "400" || row[17] != "100" {
+		t.Errorf("shed/deadlined = %q/%q, want 400/100", row[16], row[17])
+	}
+	if row[19] != "7" {
+		t.Errorf("queue_depth_max = %q, want 7", row[19])
+	}
 	// The latency max column carries the histogram's max; the per-txn
 	// column flattens name=commits/aborts/p50/p99 entries with ';'.
-	if row[17] != "2499" {
-		t.Errorf("lat_max_cycles = %q, want 2499", row[17])
+	if row[23] != "2499" {
+		t.Errorf("lat_max_cycles = %q, want 2499", row[23])
 	}
 	perTxn := row[len(row)-1]
 	if !strings.HasPrefix(perTxn, "read=1200/300/") || !strings.Contains(perTxn, ";update=800/200/") {
@@ -163,8 +181,12 @@ func TestPointJSONRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("point round trip changed the point:\norig %+v\nback %+v", orig, back)
 	}
-	// The derived latency percentile keys are part of the wire format.
-	for _, key := range []string{`"lat_p50_cycles"`, `"lat_p95_cycles"`, `"lat_p99_cycles"`, `"lat_max_cycles"`, `"per_txn"`, `"latency"`} {
+	// The derived latency percentile and overload keys are part of the
+	// wire format.
+	for _, key := range []string{
+		`"lat_p50_cycles"`, `"lat_p95_cycles"`, `"lat_p99_cycles"`, `"lat_max_cycles"`, `"per_txn"`, `"latency"`,
+		`"offered_tps"`, `"goodput_tps"`, `"shed"`, `"deadlined"`, `"queue_depth"`,
+	} {
 		if !strings.Contains(string(b), key) {
 			t.Errorf("point JSON missing key %s: %s", key, b)
 		}

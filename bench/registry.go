@@ -40,6 +40,7 @@ var Registry = []Experiment{
 	{"malloc", "Ablation: per-worker arenas vs centralized malloc", AblationMalloc},
 	{"occ-validation", "Ablation: OCC parallel vs central validation", AblationValidation},
 	{"adaptive", "Extension: the §6.1 DL_DETECT/NO_WAIT hybrid", ExtensionAdaptive},
+	{"knee", "Extension: overload knee — open-loop offered load vs goodput", ExtensionKnee},
 }
 
 // IDs lists every registered experiment id in registry order. The -fig

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"abyss1000/internal/core"
@@ -47,7 +48,8 @@ const (
 type Plan struct {
 	mode        planMode
 	experiment  string
-	sampleEvery uint64 // direct mode: interval sampling period (0 = off)
+	sampleEvery uint64       // direct mode: interval sampling period (0 = off)
+	stop        *atomic.Bool // direct mode: skip remaining jobs once set
 	jobs        []Job
 	results     []core.Result
 	next        int
@@ -73,6 +75,9 @@ func (pl *Plan) Run(j Job) core.Result {
 		pl.next++
 		return r
 	default:
+		if pl.stop != nil && pl.stop.Load() {
+			return core.Result{}
+		}
 		return j.RunSampled(pl.sampleEvery, sampleSink(pl.sampleEvery))
 	}
 }
@@ -124,6 +129,24 @@ type Runner struct {
 	// figures, JSON and CSV — are byte-identical to an unsampled run;
 	// the CI smoke step exercises exactly that equivalence.
 	SampleEvery uint64
+
+	// Stop, when non-nil and set, makes the runner stop dispatching new
+	// jobs: in-flight jobs drain normally and every undispatched job
+	// yields a zero Result, so a figure can still be assembled from the
+	// points completed so far. abyss-bench sets it from its SIGINT
+	// handler. Serial builds honor it too, between points.
+	Stop *atomic.Bool
+}
+
+// stopped reports whether the runner's stop flag has been raised.
+func (r *Runner) stopped() bool { return r != nil && r.Stop != nil && r.Stop.Load() }
+
+// stopFlag hands the stop flag to serial plans.
+func (r *Runner) stopFlag() *atomic.Bool {
+	if r == nil {
+		return nil
+	}
+	return r.Stop
 }
 
 func (r *Runner) workers() int {
@@ -186,12 +209,18 @@ func (r *Runner) Execute(jobs []Job) []core.Result {
 		}()
 	}
 	for _, i := range pool {
+		if r.stopped() {
+			break
+		}
 		ch <- i
 	}
 	close(ch)
 	wg.Wait()
 
 	for _, i := range exclusive {
+		if r.stopped() {
+			break
+		}
 		results[i] = jobs[i].RunSampled(every, sampleSink(every))
 		complete(i)
 	}
@@ -223,7 +252,7 @@ func serial(r *Runner) bool { return r == nil || r.Workers == 1 }
 
 func buildOne(e Experiment, p Params, r *Runner) *Figure {
 	if serial(r) {
-		return e.Run(p, &Plan{mode: planDirect, experiment: e.ID, sampleEvery: r.sampleEvery()})
+		return e.Run(p, &Plan{mode: planDirect, experiment: e.ID, sampleEvery: r.sampleEvery(), stop: r.stopFlag()})
 	}
 	return BuildAll([]Experiment{e}, p, r)[0]
 }
@@ -236,7 +265,7 @@ func BuildAll(es []Experiment, p Params, r *Runner) []*Figure {
 	figs := make([]*Figure, len(es))
 	if serial(r) {
 		for i, e := range es {
-			figs[i] = e.Run(p, &Plan{mode: planDirect, experiment: e.ID, sampleEvery: r.sampleEvery()})
+			figs[i] = e.Run(p, &Plan{mode: planDirect, experiment: e.ID, sampleEvery: r.sampleEvery(), stop: r.stopFlag()})
 		}
 		return figs
 	}

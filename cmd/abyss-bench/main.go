@@ -31,9 +31,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"abyss1000/abyss"
@@ -128,11 +130,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "abyss-bench:", err)
 			os.Exit(1)
 		}
-		err = runExperiments(experiments, params, scale, *parallel, *sample, *jsonOut, *csvOut, *quiet, *all)
+		interrupted, err := runExperiments(experiments, params, scale, *parallel, *sample, *jsonOut, *csvOut, *quiet, *all)
 		stopProfiles()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "abyss-bench:", err)
 			os.Exit(1)
+		}
+		if interrupted {
+			os.Exit(130)
 		}
 		return
 	default:
@@ -177,15 +182,28 @@ func startProfiles(cpuPath, memPath string) (stop func(), err error) {
 }
 
 // runExperiments executes the selected experiments on the worker pool and
-// writes the requested output format to stdout.
-func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, sample uint64, jsonOut, csvOut, quiet, withTable2 bool) error {
-	runner := &bench.Runner{Workers: parallel, SampleEvery: sample}
+// writes the requested output format to stdout. A SIGINT mid-sweep stops
+// dispatching data points: in-flight points drain, the figures (with the
+// remaining points zeroed) are still rendered, and the caller exits 130.
+func runExperiments(experiments []bench.Experiment, params bench.Params, scale string, parallel int, sample uint64, jsonOut, csvOut, quiet, withTable2 bool) (interrupted bool, err error) {
+	var stop atomic.Bool
+	runner := &bench.Runner{Workers: parallel, SampleEvery: sample, Stop: &stop}
 	if !quiet {
 		runner.OnProgress = progressPrinter()
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		if _, ok := <-sig; ok {
+			stop.Store(true)
+			fmt.Fprintln(os.Stderr, "\nabyss-bench: interrupt — draining in-flight points, remaining points will be zero")
+		}
+	}()
 
 	start := time.Now()
 	figs := bench.BuildAll(experiments, params, runner)
+	signal.Stop(sig)
+	close(sig)
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "\r%-78s\r[%d experiments in %v, %d workers, max %d cores]\n",
 			"", len(experiments), time.Since(start).Round(time.Millisecond), runner.Workers, params.MaxCores)
@@ -201,7 +219,7 @@ func runExperiments(experiments []bench.Experiment, params bench.Params, scale s
 	case jsonOut:
 		b, err := rep.JSON()
 		if err != nil {
-			return fmt.Errorf("encoding JSON: %w", err)
+			return false, fmt.Errorf("encoding JSON: %w", err)
 		}
 		os.Stdout.Write(b)
 	case csvOut:
@@ -215,7 +233,11 @@ func runExperiments(experiments []bench.Experiment, params bench.Params, scale s
 			fmt.Print(rep.Table2)
 		}
 	}
-	return nil
+	if stop.Load() {
+		fmt.Fprintln(os.Stderr, "abyss-bench: interrupted — the output above is partial (undispatched points are zero)")
+		return true, nil
+	}
+	return false, nil
 }
 
 // progressPrinter renders N/M + ETA progress lines in place on stderr.

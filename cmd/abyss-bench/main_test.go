@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSweepSIGINT pins graceful interruption of a bench sweep: SIGINT
+// mid-run stops dispatching data points, the partial figures still render
+// (with a note on stderr), and the process exits 130.
+func TestSweepSIGINT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs a multi-second sweep")
+	}
+	bin := filepath.Join(t.TempDir(), "abyss-bench")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building abyss-bench: %v\n%s", err, out)
+	}
+	// -all at full scale takes minutes — the signal always lands mid-run.
+	cmd := exec.Command(bin, "-all", "-full", "-quiet")
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Second)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit code 130, got err=%v\nstderr:\n%s", err, stderr.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code = %d, want 130\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Fatalf("missing interruption note on stderr:\n%s", stderr.String())
+	}
+	// The partial figures were still rendered on stdout.
+	if !strings.Contains(stdout.String(), "== Fig") {
+		t.Fatalf("missing partial figure output:\n%s", stdout.String())
+	}
+}

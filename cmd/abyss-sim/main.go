@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
 	"abyss1000/abyss"
@@ -67,6 +68,16 @@ func main() {
 		// Observability knobs.
 		interval = flag.Uint64("interval", 0, "print a live throughput/abort/latency line every N cycles of the measurement window (0 disables)")
 		hist     = flag.Bool("hist", false, "dump the commit-latency histogram and per-transaction-type results after the run")
+
+		// Overload knobs (open-loop arrivals, admission control, deadlines,
+		// retry budgets, fault injection).
+		arrivals   = flag.String("arrivals", "", "open-loop arrival process: poisson:<tps> or mmpp:<calm_tps>:<burst_tps>[:<burst_cycles>:<calm_cycles>] (empty keeps the paper's closed loop)")
+		qdepth     = flag.Int("qdepth", 0, "bound each worker's admission queue at this depth; arrivals past the bound are shed (0 = unbounded; needs -arrivals)")
+		shedTypes  = flag.String("shed-types", "", "comma-separated transaction type names to shed first when an admission queue passes its high-water mark (needs -arrivals)")
+		deadline   = flag.Uint64("deadline", 0, "abandon a transaction not committed within this many cycles of its arrival (0 disables)")
+		retryLimit = flag.Int("retry", 0, "abandon a transaction after this many failed attempts (0 = unlimited retries)")
+		backoffCap = flag.Uint64("backoff-cap", 0, "cap for exponential abort backoff: the mean doubles per attempt from the base up to this (0 keeps the fixed base)")
+		faultSpec  = flag.String("fault", "", "comma-separated fault injectors: stall:<worker>:<from>:<until>, slowpart:<first>:<count>:<extra>[:<from>:<until>], spike:<period>:<duration>")
 
 		// Durability knobs.
 		walDest    = flag.String("wal", "", "write-ahead log destination: 'mem' or a file path (empty disables durability)")
@@ -200,12 +211,27 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	arr, err := parseArrivals(*arrivals, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fault, err := parseFaults(*faultSpec)
+	if err != nil {
+		fail(err)
+	}
 	rc := abyss.RunConfig{
 		WarmupCycles:  *warmup,
 		MeasureCycles: *measure,
 		AbortBackoff:  1000,
 		SampleEvery:   *interval,
 		Check:         *check,
+		Arrivals:      arr,
+		QueueDepth:    *qdepth,
+		ShedTypes:     *shedTypes,
+		Deadline:      *deadline,
+		RetryLimit:    *retryLimit,
+		BackoffCap:    *backoffCap,
+		Fault:         fault,
 	}
 
 	rc.LogGroupTxns = *walGroup
@@ -213,21 +239,44 @@ func main() {
 	var res abyss.Result
 	if *interval > 0 {
 		samples, wait := db.RunStream(scheme, wl, rc)
-		if streamSamples(samples, *measure) {
-			// Interrupted: partial results were printed; exit non-zero so
-			// scripts can tell a cut-short run from a completed one.
+		if streamSamples(samples, *measure, db) {
+			// Interrupted: the workers were asked to drain; partial
+			// results were printed. Exit non-zero so scripts can tell a
+			// cut-short run from a completed one.
 			os.Exit(130)
 		}
 		res, err = wait()
 	} else {
+		// A plain run drains gracefully on SIGINT too: the handler flips
+		// the DB's stop flag, every worker finishes its current
+		// transaction, and Run returns the partial window.
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		done := make(chan struct{})
+		go func() {
+			select {
+			case <-sig:
+				db.Interrupt()
+			case <-done:
+			}
+		}()
 		res, err = db.Run(scheme, wl, rc)
+		close(done)
+		signal.Stop(sig)
 	}
 	if err != nil {
 		fail(err)
 	}
 	fmt.Println(res.String())
+	if arr.Open() {
+		printOverload(&res)
+	}
 	if *hist {
 		printHistogram(&res)
+	}
+	if db.Interrupted() {
+		fmt.Println("interrupted: partial window (results above cover the cycles served before the stop)")
+		os.Exit(130)
 	}
 
 	if *check {
@@ -270,9 +319,10 @@ func main() {
 }
 
 // streamSamples prints live per-interval lines until the channel closes
-// or the user interrupts. On SIGINT it drains whatever samples are
-// already buffered, prints a partial summary from them, and reports true.
-func streamSamples(samples <-chan abyss.Sample, measure uint64) (interrupted bool) {
+// or the user interrupts. On SIGINT it asks the run to drain (so the
+// workers stop cleanly), drains whatever samples are already buffered,
+// prints a partial summary from them, and reports true.
+func streamSamples(samples <-chan abyss.Sample, measure uint64, db *abyss.DB) (interrupted bool) {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)
 	defer signal.Stop(sig)
@@ -297,6 +347,7 @@ func streamSamples(samples <-chan abyss.Sample, measure uint64) (interrupted boo
 			}
 			printLine(s)
 		case <-sig:
+			db.Interrupt()
 			// Drain the buffered samples (the channel holds the whole
 			// run, so this never blocks on the measurement).
 			for {
@@ -406,6 +457,111 @@ func printHistogram(res *abyss.Result) {
 		fmt.Printf("%-18s %10d %10d %8d %8d %10d\n",
 			t.Name, t.Commits, t.Aborts, t.Latency.P50(), t.Latency.P99(), t.Latency.Max())
 	}
+}
+
+// parseArrivals parses the -arrivals flag: poisson:<tps> or
+// mmpp:<calm_tps>:<burst_tps>[:<burst_cycles>:<calm_cycles>]. The empty
+// string keeps the closed loop. The arrival stream reuses the run seed.
+func parseArrivals(spec string, seed int64) (abyss.Arrivals, error) {
+	if spec == "" {
+		return abyss.Arrivals{}, nil
+	}
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "poisson":
+		if len(parts) != 2 {
+			return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals poisson:<tps>, got %q", spec)
+		}
+		tps, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals rate %q: %v", parts[1], err)
+		}
+		return abyss.Arrivals{Process: abyss.ArrivalPoisson, RateTPS: tps, Seed: seed}, nil
+	case "mmpp":
+		if len(parts) != 3 && len(parts) != 5 {
+			return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals mmpp:<calm_tps>:<burst_tps>[:<burst_cycles>:<calm_cycles>], got %q", spec)
+		}
+		calm, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals calm rate %q: %v", parts[1], err)
+		}
+		burst, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil {
+			return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals burst rate %q: %v", parts[2], err)
+		}
+		// Default dwell times: bursts one tenth as long as calm stretches.
+		burstCyc, calmCyc := uint64(50_000), uint64(500_000)
+		if len(parts) == 5 {
+			if burstCyc, err = strconv.ParseUint(parts[3], 10, 64); err != nil {
+				return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals burst dwell %q: %v", parts[3], err)
+			}
+			if calmCyc, err = strconv.ParseUint(parts[4], 10, 64); err != nil {
+				return abyss.Arrivals{}, fmt.Errorf("abyss-sim: -arrivals calm dwell %q: %v", parts[4], err)
+			}
+		}
+		return abyss.Arrivals{
+			Process: abyss.ArrivalMMPP, RateTPS: calm, BurstRateTPS: burst,
+			BurstCycles: burstCyc, CalmCycles: calmCyc, Seed: seed,
+		}, nil
+	default:
+		return abyss.Arrivals{}, fmt.Errorf("abyss-sim: unknown arrival process %q (poisson or mmpp)", parts[0])
+	}
+}
+
+// parseFaults parses the -fault flag: comma-separated injector specs,
+// composed with ComposeFaults when more than one is given.
+func parseFaults(spec string) (abyss.FaultInjector, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var faults []abyss.FaultInjector
+	for _, one := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(one), ":")
+		nums := make([]uint64, 0, len(parts)-1)
+		for _, p := range parts[1:] {
+			n, err := strconv.ParseUint(p, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("abyss-sim: -fault %q: bad number %q", one, p)
+			}
+			nums = append(nums, n)
+		}
+		switch parts[0] {
+		case "stall":
+			if len(nums) != 3 {
+				return nil, fmt.Errorf("abyss-sim: -fault stall:<worker>:<from>:<until>, got %q", one)
+			}
+			faults = append(faults, abyss.StalledWorkerFault(int(nums[0]), nums[1], nums[2]))
+		case "slowpart":
+			if len(nums) != 3 && len(nums) != 5 {
+				return nil, fmt.Errorf("abyss-sim: -fault slowpart:<first>:<count>:<extra>[:<from>:<until>], got %q", one)
+			}
+			var from, until uint64
+			if len(nums) == 5 {
+				from, until = nums[3], nums[4]
+			}
+			faults = append(faults, abyss.SlowPartitionFault(int(nums[0]), int(nums[1]), nums[2], from, until))
+		case "spike":
+			if len(nums) != 2 {
+				return nil, fmt.Errorf("abyss-sim: -fault spike:<period>:<duration>, got %q", one)
+			}
+			faults = append(faults, abyss.LatencySpikeFault(nums[0], nums[1]))
+		default:
+			return nil, fmt.Errorf("abyss-sim: unknown fault %q (stall, slowpart or spike)", parts[0])
+		}
+	}
+	if len(faults) == 1 {
+		return faults[0], nil
+	}
+	return abyss.ComposeFaults(faults...), nil
+}
+
+// printOverload summarizes an open-loop run's overload accounting:
+// offered vs goodput, shed and deadlined counts, and the admission-queue
+// depth distribution.
+func printOverload(res *abyss.Result) {
+	fmt.Printf("overload: offered %.0f txn/s  goodput %.0f txn/s  shed %d (%.1f%%)  deadlined %d  qdepth p50 %d max %d\n",
+		res.OfferedTPS(), res.GoodputTPS(), res.Shed, res.ShedFraction()*100,
+		res.Deadlined, res.QueueDepth.P50(), res.QueueDepth.Max())
 }
 
 // flagGiven reports whether the named flag was set on the command line.

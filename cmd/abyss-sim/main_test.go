@@ -6,7 +6,20 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
+
+// buildSim compiles the abyss-sim binary into a temp dir once per test.
+func buildSim(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "abyss-sim")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Env = os.Environ()
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building abyss-sim: %v\n%s", err, out)
+	}
+	return bin
+}
 
 // TestCheckReproLine pins the -check repro contract from the shell: the
 // exact command line a failure report would print (same workload,
@@ -16,12 +29,7 @@ func TestCheckReproLine(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds and runs the binary twice")
 	}
-	bin := filepath.Join(t.TempDir(), "abyss-sim")
-	build := exec.Command("go", "build", "-o", bin, ".")
-	build.Env = os.Environ()
-	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("building abyss-sim: %v\n%s", err, out)
-	}
+	bin := buildSim(t)
 	args := []string{
 		"-check", "-workload", "chaos", "-scheme", "NO_WAIT", "-runtime", "sim",
 		"-cores", "4", "-seed", "77", "-warmup", "40000", "-measure", "250000",
@@ -39,5 +47,79 @@ func TestCheckReproLine(t *testing.T) {
 	}
 	if !strings.Contains(first, "serializability check: PASS") {
 		t.Fatalf("expected a PASS verdict line, got:\n%s", first)
+	}
+}
+
+// TestOverloadFlagsDeterministic pins the open-loop CLI surface: the full
+// overload flag set (arrivals, queue bound, deadline, retry budget,
+// backoff cap, fault injection) produces byte-identical output across
+// invocations on the simulator, including the overload summary line.
+func TestOverloadFlagsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary twice")
+	}
+	bin := buildSim(t)
+	args := []string{
+		"-scheme", "NO_WAIT", "-cores", "8", "-seed", "5", "-rows", "4096",
+		"-warmup", "50000", "-measure", "400000",
+		"-arrivals", "mmpp:500000:4000000:50000:200000",
+		"-qdepth", "8", "-deadline", "60000", "-retry", "4", "-backoff-cap", "8000",
+		"-fault", "spike:100000:5000,stall:1:100000:200000",
+	}
+	run := func() string {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("abyss-sim %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+	first, second := run(), run()
+	if first != second {
+		t.Fatalf("open-loop run is not deterministic:\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+	for _, want := range []string{"overload:", "offered", "goodput", "shed", "deadlined", "qdepth"} {
+		if !strings.Contains(first, want) {
+			t.Fatalf("overload summary missing %q:\n%s", want, first)
+		}
+	}
+}
+
+// TestPlainRunSIGINT pins graceful interruption of a plain (non-streaming)
+// run: SIGINT mid-measurement drains the workers, prints the partial
+// result with an interruption marker, and exits 130.
+func TestPlainRunSIGINT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the binary and runs a multi-second native window")
+	}
+	bin := buildSim(t)
+	// A native run with a 30-second window: long enough that the signal
+	// always lands mid-measurement, even on a loaded CI machine.
+	cmd := exec.Command(bin,
+		"-runtime", "native", "-scheme", "NO_WAIT", "-cores", "2", "-rows", "4096",
+		"-warmup", "10000000", "-measure", "30000000000")
+	var out strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(500 * time.Millisecond)
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("expected exit code 130, got err=%v\noutput:\n%s", err, out.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code = %d, want 130\noutput:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "interrupted: partial window") {
+		t.Fatalf("missing interruption marker:\n%s", out.String())
+	}
+	// The partial result line itself must still be there.
+	if !strings.Contains(out.String(), "txn/s") {
+		t.Fatalf("missing partial result line:\n%s", out.String())
 	}
 }

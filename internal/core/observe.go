@@ -77,12 +77,24 @@ type Sample struct {
 	Commits uint64 `json:"commits"`
 	Aborts  uint64 `json:"aborts"`
 
+	// Shed and Deadlined count overload outcomes discovered inside this
+	// interval (open-loop runs only): arrivals rejected by admission
+	// control and transactions abandoned past their deadline or retry
+	// budget. Like Commits/Aborts they tile the window, so the samples'
+	// sums equal the final Result's counters.
+	Shed      uint64 `json:"shed"`
+	Deadlined uint64 `json:"deadlined"`
+
 	// Frequency is the runtime's cycle frequency in Hz, carried so the
 	// rate accessors need no external context.
 	Frequency float64 `json:"frequency_hz"`
 
 	// Latency is the commit-latency histogram of this interval alone.
 	Latency stats.Histogram `json:"latency"`
+
+	// QueueDepth is the admission-queue-depth histogram of arrivals
+	// ingested inside this interval (open-loop runs only).
+	QueueDepth stats.Histogram `json:"queue_depth"`
 }
 
 // Throughput returns the interval's committed transactions per second.
@@ -131,14 +143,19 @@ const MaxSampleIntervals = 100_000
 // pending, per interval once flushed).
 type intervalAgg struct {
 	commits, aborts uint64
+	shed, deadlined uint64
 	lat             stats.Histogram
+	qdepth          stats.Histogram
 }
 
 // merge drains other into a.
 func (a *intervalAgg) merge(other *intervalAgg) {
 	a.commits += other.commits
 	a.aborts += other.aborts
+	a.shed += other.shed
+	a.deadlined += other.deadlined
 	a.lat.Merge(&other.lat)
+	a.qdepth.Merge(&other.qdepth)
 	*other = intervalAgg{}
 }
 
@@ -235,13 +252,16 @@ func (s *sampler) emitReady() {
 			end = s.measure
 		}
 		s.obs.OnSample(Sample{
-			Interval:  int(i),
-			EndCycle:  end,
-			Cycles:    end - uint64(i)*s.every,
-			Commits:   a.commits,
-			Aborts:    a.aborts,
-			Frequency: s.freq,
-			Latency:   a.lat,
+			Interval:   int(i),
+			EndCycle:   end,
+			Cycles:     end - uint64(i)*s.every,
+			Commits:    a.commits,
+			Aborts:     a.aborts,
+			Shed:       a.shed,
+			Deadlined:  a.deadlined,
+			Frequency:  s.freq,
+			Latency:    a.lat,
+			QueueDepth: a.qdepth,
 		})
 		s.emitted = i
 	}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBackoffMean(t *testing.T) {
+	cases := []struct {
+		base, cap uint64
+		attempt   int
+		want      uint64
+	}{
+		{0, 0, 1, 0},       // backoff disabled
+		{1000, 0, 1, 1000}, // no cap: mean stays base forever
+		{1000, 0, 7, 1000},
+		{1000, 16000, 1, 1000}, // exponential: base << (attempt-1)
+		{1000, 16000, 2, 2000},
+		{1000, 16000, 4, 8000},
+		{1000, 16000, 5, 16000},  // hits the cap exactly
+		{1000, 16000, 9, 16000},  // stays capped
+		{1000, 3000, 3, 3000},    // cap between powers
+		{1000, 500, 1, 500},      // cap below base clamps immediately
+		{1000, 16000, 63, 16000}, // deep attempts must not overflow
+	}
+	for _, c := range cases {
+		if got := backoffMean(c.base, c.cap, c.attempt); got != c.want {
+			t.Errorf("backoffMean(%d, %d, %d) = %d, want %d", c.base, c.cap, c.attempt, got, c.want)
+		}
+	}
+}
+
+func TestArrivalGenDeterministicAndRateAccurate(t *testing.T) {
+	a := Arrivals{Process: ArrivalPoisson, RateTPS: 1e6, Seed: 123}
+	const freq = 1e9
+	gen := func() []uint64 {
+		g := newArrivalGen(a, 3, 4, freq)
+		out := make([]uint64, 2000)
+		for i := range out {
+			out[i] = g.take()
+		}
+		return out
+	}
+	first, second := gen(), gen()
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("arrival %d differs between identical generators: %d vs %d", i, first[i], second[i])
+		}
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(first); i++ {
+		if first[i] < first[i-1] {
+			t.Fatalf("arrivals regressed at %d: %d < %d", i, first[i], first[i-1])
+		}
+	}
+	// Mean interarrival ≈ freq / (rate / nworkers) = 4000 cycles; with
+	// 2000 exponential draws the sample mean lands within a few percent.
+	mean := float64(first[len(first)-1]) / float64(len(first))
+	if math.Abs(mean-4000) > 400 {
+		t.Fatalf("per-worker mean interarrival = %.0f cycles, want ~4000", mean)
+	}
+	// Workers draw independent streams.
+	other := newArrivalGen(a, 0, 4, freq)
+	if other.take() == first[0] {
+		t.Fatal("different workers should not share an arrival stream")
+	}
+}
+
+func TestAdmitQueueRing(t *testing.T) {
+	q := newAdmitQueue(3)
+	for i := uint64(1); i <= 3; i++ {
+		if !q.push(i) {
+			t.Fatalf("push %d rejected below bound", i)
+		}
+	}
+	if q.push(4) {
+		t.Fatal("push above bound must be rejected")
+	}
+	if q.depth() != 3 {
+		t.Fatalf("depth = %d, want 3", q.depth())
+	}
+	if v, ok := q.pop(); !ok || v != 1 {
+		t.Fatalf("pop = %d,%v, want 1,true", v, ok)
+	}
+	if !q.push(4) {
+		t.Fatal("push after pop should fit")
+	}
+	for want := uint64(2); want <= 4; want++ {
+		if v, ok := q.pop(); !ok || v != want {
+			t.Fatalf("FIFO order broken: got %d, want %d", v, want)
+		}
+	}
+	if _, ok := q.pop(); ok {
+		t.Fatal("pop from empty queue")
+	}
+
+	// Unbounded queues grow and preserve order across the growth.
+	u := newAdmitQueue(0)
+	for i := uint64(0); i < 200; i++ {
+		if !u.push(i) {
+			t.Fatalf("unbounded push %d rejected", i)
+		}
+	}
+	for i := uint64(0); i < 200; i++ {
+		if v, ok := u.pop(); !ok || v != i {
+			t.Fatalf("unbounded FIFO broken at %d: %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestHighWater(t *testing.T) {
+	if highWater(16) != 8 || highWater(1) != 1 || highWater(0) != 64 {
+		t.Fatalf("high-water marks wrong: %d %d %d", highWater(16), highWater(1), highWater(0))
+	}
+}
+
+type twoTypes struct{}
+
+func (twoTypes) TxnTypes() []string { return []string{"alpha", "beta"} }
+func (twoTypes) TxnTypeOf(Txn) int  { return 0 }
+
+func TestShedMaskFor(t *testing.T) {
+	if shedMaskFor(nil, "alpha") != 0 {
+		t.Fatal("no typer means no mask")
+	}
+	if shedMaskFor(twoTypes{}, "") != 0 {
+		t.Fatal("empty spec means no mask")
+	}
+	if got := shedMaskFor(twoTypes{}, "beta"); got != 2 {
+		t.Fatalf("mask for beta = %b, want 10", got)
+	}
+	if got := shedMaskFor(twoTypes{}, "alpha, beta"); got != 3 {
+		t.Fatalf("mask for both = %b, want 11", got)
+	}
+	if got := shedMaskFor(twoTypes{}, "gamma"); got != 0 {
+		t.Fatalf("unknown names must be ignored, got %b", got)
+	}
+}

@@ -26,16 +26,24 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	var payLat stats.Histogram
 	payLat.Record(100)
 	payLat.Record(900)
+	var qd stats.Histogram
+	for _, v := range []uint64{0, 1, 3, 7, 15} {
+		qd.Record(v)
+	}
 	orig := core.Result{
 		Scheme:        "MVCC",
 		Workers:       64,
 		Commits:       123456,
 		Aborts:        789,
 		Tuples:        1975296,
+		Offered:       130000,
+		Shed:          5000,
+		Deadlined:     755,
 		MeasureCycles: 800_000,
 		Frequency:     1e9,
 		Breakdown:     bd,
 		Latency:       lat,
+		QueueDepth:    qd,
 		PerTxn: []core.TxnStats{
 			{Name: "Payment", Commits: 61728, Aborts: 400, Latency: payLat},
 			{Name: "NewOrder", Commits: 61728, Aborts: 389},
@@ -59,6 +67,10 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	if back.Latency.P99() != orig.Latency.P99() || back.Latency.Max() != orig.Latency.Max() {
 		t.Fatal("latency percentiles changed across round trip")
 	}
+	if back.OfferedTPS() != orig.OfferedTPS() || back.GoodputTPS() != orig.GoodputTPS() ||
+		back.ShedFraction() != orig.ShedFraction() || back.QueueDepth.Max() != orig.QueueDepth.Max() {
+		t.Fatal("overload metrics changed across round trip")
+	}
 }
 
 // TestResultJSONStableKeys pins the wire format's field names — external
@@ -75,6 +87,7 @@ func TestResultJSONStableKeys(t *testing.T) {
 		`"measure_cycles"`, `"frequency_hz"`, `"breakdown"`,
 		`"useful"`, `"abort"`, `"ts_alloc"`, `"index"`, `"wait"`, `"manager"`,
 		`"latency"`, `"per_txn"`, `"name"`, `"count"`, `"sum"`, `"max"`, `"buckets"`,
+		`"offered"`, `"shed"`, `"deadlined"`, `"queue_depth"`,
 	} {
 		if !strings.Contains(string(b), key) {
 			t.Errorf("Result JSON missing key %s: %s", key, b)

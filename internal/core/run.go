@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"abyss1000/internal/rt"
 	"abyss1000/internal/stats"
@@ -38,6 +39,48 @@ type Config struct {
 	// expects a freshly populated database, where version 0 uniformly
 	// means "untouched since load".
 	Capture bool
+
+	// Arrivals switches the run from the paper's closed loop to an
+	// open-loop arrival process (see Arrivals). The zero value keeps the
+	// closed loop, byte-identical to previous releases.
+	Arrivals Arrivals
+
+	// QueueDepth bounds each worker's admission queue in open-loop runs.
+	// Arrivals that find the queue full are shed (counted, never
+	// executed). Zero means unbounded — admission control off.
+	QueueDepth int
+
+	// ShedTypes lists transaction type names (comma-separated, resolved
+	// against the workload's TxnTyper) to shed preferentially once a
+	// worker's queue passes its high-water mark. Empty disables priority
+	// shedding. A string rather than a slice so Config stays comparable.
+	ShedTypes string
+
+	// Deadline abandons a transaction that has not committed within this
+	// many cycles of its latency origin (arrival time in open loop,
+	// first-attempt start in closed loop): it aborts as ErrDeadline
+	// instead of retrying forever. Zero disables deadlines.
+	Deadline uint64
+
+	// RetryLimit abandons a transaction after this many failed attempts
+	// (RetryLimit 1 means no retries). Zero means unlimited retries.
+	RetryLimit int
+
+	// BackoffCap, when positive, turns the fixed mean-AbortBackoff
+	// restart penalty into capped exponential backoff: the mean doubles
+	// with each consecutive failure up to BackoffCap. Jitter stays
+	// deterministic — it draws from the worker's seeded RNG.
+	BackoffCap uint64
+
+	// Fault, when non-nil, injects stalls at transaction boundaries (see
+	// FaultInjector). Billed to the Idle component.
+	Fault FaultInjector
+
+	// Stop, when non-nil, is polled at transaction boundaries: once set,
+	// workers finish their in-flight transaction and exit the run early.
+	// The Result covers the window served so far. This is the engine end
+	// of graceful SIGINT handling.
+	Stop *atomic.Bool
 }
 
 // DefaultConfig returns a window sized for quick experiments: 0.4 ms of
@@ -64,6 +107,23 @@ func (c Config) Validate() error {
 			return fmt.Errorf("core: Config.SampleEvery %d yields %d sample intervals over MeasureCycles %d; at most %d are allowed — use a coarser sampling period", c.SampleEvery, n, c.MeasureCycles, MaxSampleIntervals)
 		}
 	}
+	if err := c.Arrivals.validate(); err != nil {
+		return err
+	}
+	if c.QueueDepth < 0 {
+		return errors.New("core: Config.QueueDepth must not be negative")
+	}
+	if c.RetryLimit < 0 {
+		return errors.New("core: Config.RetryLimit must not be negative")
+	}
+	if !c.Arrivals.Open() {
+		if c.QueueDepth > 0 {
+			return errors.New("core: Config.QueueDepth requires an open-loop arrival process (set Arrivals)")
+		}
+		if c.ShedTypes != "" {
+			return errors.New("core: Config.ShedTypes requires an open-loop arrival process (set Arrivals)")
+		}
+	}
 	return nil
 }
 
@@ -83,8 +143,23 @@ type Result struct {
 
 	// Latency is the commit-latency histogram over the measurement
 	// window (cycles from first-attempt start to commit, including
-	// restarts and backoff). Latency.Count() equals Commits.
+	// restarts and backoff; in open-loop runs the origin is the arrival
+	// time, so queueing delay counts too). Latency.Count() equals
+	// Commits.
 	Latency stats.Histogram `json:"latency"`
+
+	// Offered, Shed and Deadlined are the open-loop overload counters
+	// (always zero in closed-loop runs): arrivals offered inside the
+	// measurement window, arrivals rejected by admission control, and
+	// transactions abandoned past their deadline or retry budget.
+	Offered   uint64 `json:"offered"`
+	Shed      uint64 `json:"shed"`
+	Deadlined uint64 `json:"deadlined"`
+
+	// QueueDepth is the admission-queue-depth histogram, one observation
+	// per arrival ingested inside the measurement window. Empty in
+	// closed-loop runs.
+	QueueDepth stats.Histogram `json:"queue_depth"`
 
 	// PerTxn breaks the run down by transaction type when the workload
 	// implements TxnTyper, in TxnTypes order; nil otherwise. Commits and
@@ -127,6 +202,28 @@ func (r Result) AbortFraction() float64 {
 // axis reports an absolute abort rate).
 func (r Result) AbortsPerSec() float64 {
 	return r.perSec(r.Aborts)
+}
+
+// OfferedTPS returns the offered load in transactions per second (zero
+// for closed-loop runs, where load is not externally offered).
+func (r Result) OfferedTPS() float64 {
+	return r.perSec(r.Offered)
+}
+
+// GoodputTPS returns committed transactions per second — the useful
+// output under offered load. Numerically equal to Throughput; the
+// distinct name keeps knee charts (goodput vs offered) self-describing.
+func (r Result) GoodputTPS() float64 {
+	return r.perSec(r.Commits)
+}
+
+// ShedFraction returns the fraction of offered arrivals rejected by
+// admission control, or 0 when nothing was offered.
+func (r Result) ShedFraction() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Shed) / float64(r.Offered)
 }
 
 // String summarizes the run on one line.
@@ -176,26 +273,26 @@ func RunObserved(db *DB, scheme Scheme, wl Workload, cfg Config, obs Observer) R
 		smp = newSampler(cfg, n, db.RT.Frequency(), obs)
 	}
 	typer, _ := wl.(TxnTyper)
+	open := cfg.Arrivals.Open()
+	var shedMask uint64
+	if open {
+		shedMask = shedMaskFor(typer, cfg.ShedTypes)
+	}
 	workers := make([]*Worker, n)
 	db.RT.Run(func(p rt.Proc) {
 		w := newWorker(p, db, scheme)
 		w.BindWorkload(wl)
 		w.smp = smp
+		w.deadline = cfg.Deadline
+		w.retryLimit = cfg.RetryLimit
+		w.backoffCap = cfg.BackoffCap
 		workers[p.ID()] = w
 		warmEnd := cfg.WarmupCycles
 		end := warmEnd + cfg.MeasureCycles
-		resetDone := false
-		for {
-			now := p.Now()
-			if now >= end {
-				break
-			}
-			if !resetDone && now >= warmEnd {
-				p.Stats().Reset()
-				w.resetWindow()
-				resetDone = true
-			}
-			w.runTxn(wl.Next(p), warmEnd, end, cfg.AbortBackoff)
+		if open {
+			w.serveOpen(wl, cfg, shedMask, warmEnd, end, n)
+		} else {
+			w.serveClosed(wl, cfg, warmEnd, end)
 		}
 		w.finishSampling()
 	})
@@ -217,8 +314,12 @@ func RunObserved(db *DB, scheme Scheme, wl Workload, cfg Config, obs Observer) R
 		res.Commits += w.Count.Commits
 		res.Aborts += w.Count.Aborts
 		res.Tuples += w.Count.Tuples
+		res.Offered += w.Count.Offered
+		res.Shed += w.Count.Shed
+		res.Deadlined += w.Count.Deadlined
 		res.Breakdown.Merge(w.P.Stats())
 		res.Latency.Merge(&w.Lat)
+		res.QueueDepth.Merge(&w.QDepth)
 		for i := range w.perTxn {
 			res.PerTxn[i].merge(&w.perTxn[i])
 		}

@@ -18,8 +18,23 @@ type Worker struct {
 	Count  stats.Counters
 
 	// Lat is the commit-latency histogram over the measurement window
-	// (first-attempt start to commit, so restarts and backoff count).
+	// (first-attempt start to commit, so restarts and backoff count; in
+	// open-loop runs the origin is the arrival time, so queueing delay
+	// counts too).
 	Lat stats.Histogram
+
+	// QDepth is the admission-queue-depth histogram, recorded at every
+	// arrival ingested inside the measurement window. Always empty in
+	// closed-loop runs.
+	QDepth stats.Histogram
+
+	// Overload knobs copied from Config by Run: the per-transaction
+	// deadline and retry budget enforced by runTxn, and the cap for
+	// exponential backoff growth. All zero in legacy configurations,
+	// where runTxn behaves exactly as before.
+	deadline   uint64
+	retryLimit int
+	backoffCap uint64
 
 	// typer/perTxn hold the per-transaction-type attribution when the
 	// bound workload implements TxnTyper (Names stay empty here; Run
@@ -131,6 +146,33 @@ func (w *Worker) observeAbort(txn Txn, now uint64) {
 	}
 }
 
+// observeShed records an arrival rejected by admission control at time
+// now (discovery time, which keeps per-worker sampling monotone).
+func (w *Worker) observeShed(now uint64) {
+	if w.smp != nil {
+		w.sampleRoll(now)
+		w.spend.shed++
+	}
+}
+
+// observeDeadlined records a transaction abandoned past its deadline or
+// retry budget at time now.
+func (w *Worker) observeDeadlined(now uint64) {
+	if w.smp != nil {
+		w.sampleRoll(now)
+		w.spend.deadlined++
+	}
+}
+
+// observeDepth records the admission-queue depth seen by an arrival.
+func (w *Worker) observeDepth(now uint64, depth int) {
+	w.QDepth.Record(uint64(depth))
+	if w.smp != nil {
+		w.sampleRoll(now)
+		w.spend.qdepth.Record(uint64(depth))
+	}
+}
+
 // sampleRoll flushes the pending interval counts when now has crossed
 // into a later interval than the one being accumulated.
 func (w *Worker) sampleRoll(now uint64) {
@@ -153,6 +195,7 @@ func (w *Worker) finishSampling() {
 func (w *Worker) resetWindow() {
 	w.Count = stats.Counters{}
 	w.Lat.Reset()
+	w.QDepth.Reset()
 	for i := range w.perTxn {
 		w.perTxn[i] = TxnStats{}
 	}
@@ -192,14 +235,61 @@ func (w *Worker) finishDurable() {
 	w.P.Stats().Add(stats.Log, w.P.Now()-t0)
 }
 
-// runTxn executes txn to commit or user-abort, restarting on CC aborts,
-// and updates counters for work completed inside [warmEnd, end).
-func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
+// serveClosed is the paper's closed-loop worker body: draw a transaction,
+// run it to completion, draw the next. Stop and Fault are nil-checked
+// only in legacy configurations, so the schedule is byte-identical to the
+// pre-overload engine (the golden signature pins that).
+func (w *Worker) serveClosed(wl Workload, cfg Config, warmEnd, end uint64) {
 	p := w.P
-	start := p.Now()
+	stop, fault := cfg.Stop, cfg.Fault
+	resetDone := false
 	for {
-		if p.Now() >= end {
-			return
+		now := p.Now()
+		if now >= end {
+			break
+		}
+		if stop != nil && stop.Load() {
+			break
+		}
+		if !resetDone && now >= warmEnd {
+			p.Stats().Reset()
+			w.resetWindow()
+			resetDone = true
+		}
+		if fault != nil {
+			if d := fault.Delay(p.ID(), now); d > 0 {
+				p.Tick(stats.Idle, d)
+				continue
+			}
+		}
+		txn := wl.Next(p)
+		w.runTxn(txn, p.Now(), warmEnd, end, cfg.AbortBackoff)
+	}
+}
+
+// runTxn executes txn to commit or user-abort, restarting on CC aborts,
+// and updates counters for work completed inside [warmEnd, end). start is
+// the latency origin: the first-attempt start in the closed loop, the
+// arrival time in the open loop. When the worker has a deadline, a
+// transaction that has not committed by start+deadline is abandoned with
+// ErrDeadline instead of restarted (a commit already in flight still
+// counts — the deadline gates retries, not completion); a retry budget
+// abandons the same way after retryLimit failed attempts. Both outcomes
+// count in Deadlined, separately from CC aborts.
+func (w *Worker) runTxn(txn Txn, start, warmEnd, end uint64, backoff uint64) error {
+	p := w.P
+	attempt := 0
+	for {
+		now := p.Now()
+		if now >= end {
+			return nil
+		}
+		if w.deadline > 0 && now >= start+w.deadline {
+			if now >= warmEnd {
+				w.Count.Deadlined++
+				w.observeDeadlined(now)
+			}
+			return ErrDeadline
 		}
 		p.Stats().BeginAttempt()
 		w.Ctx.reset()
@@ -218,7 +308,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 			}
 		}
 
-		now := p.Now()
+		now = p.Now()
 		inWindow := now >= warmEnd && now < end
 		switch err {
 		case nil:
@@ -231,7 +321,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 			if h, ok := txn.(CommitHook); ok {
 				h.Committed()
 			}
-			return
+			return nil
 		case ErrUserAbort:
 			// Program-logic rollback: completed work per TPC-C.
 			w.Scheme.Abort(&w.Ctx)
@@ -242,7 +332,7 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 				w.Count.Tuples += w.Ctx.tuples
 				w.observeCommit(txn, now, start)
 			}
-			return
+			return ErrUserAbort
 		case ErrAbort:
 			w.Scheme.Abort(&w.Ctx)
 			p.Tick(stats.Abort, costs.AbortFixed)
@@ -251,8 +341,23 @@ func (w *Worker) runTxn(txn Txn, warmEnd, end uint64, backoff uint64) {
 				w.Count.Aborts++
 				w.observeAbort(txn, now)
 			}
+			attempt++
+			if w.retryLimit > 0 && attempt >= w.retryLimit {
+				if inWindow {
+					w.Count.Deadlined++
+					w.observeDeadlined(now)
+				}
+				return ErrDeadline
+			}
 			if backoff > 0 {
-				p.Tick(stats.Abort, uint64(p.Rand().Int63n(int64(2*backoff)))+1)
+				// With no cap the mean stays backoff for every attempt,
+				// so this draw is identical to the historical fixed-
+				// backoff loop and the golden schedule is preserved.
+				mean := backoff
+				if w.backoffCap > 0 {
+					mean = backoffMean(backoff, w.backoffCap, attempt)
+				}
+				p.Tick(stats.Abort, uint64(p.Rand().Int63n(int64(2*mean)))+1)
 			}
 			// Restart the same transaction.
 		default:

@@ -1,0 +1,94 @@
+// Package faultinject provides stock fault injectors for the engine's
+// overload tier. An injector is a pure function of (worker, now) mapping
+// a worker index and its clock to extra stall cycles; the engine polls it
+// at transaction boundaries and bills any stall to the Idle component
+// before re-checking deadlines and admission queues, so shedding and
+// deadline behavior can be exercised under induced failure rather than
+// just contention.
+//
+// Because injectors are stateless value types, the same injector can be
+// shared by every worker goroutine (sim or native) without
+// synchronization, and two runs with the same configuration inject the
+// identical fault schedule. The package deliberately does not import the
+// engine: it satisfies core.FaultInjector structurally, keeping the
+// dependency one-way.
+package faultinject
+
+// StalledWorker freezes one worker for a window of simulated time,
+// modeling a thread descheduled by the OS or stuck on a slow syscall.
+// Whenever the worker's clock is inside [From, Until) the injector stalls
+// it to Until in one step; all other workers are untouched.
+type StalledWorker struct {
+	Worker int    // worker index to stall
+	From   uint64 // window start, in cycles
+	Until  uint64 // window end, in cycles
+}
+
+// Delay implements the injector contract.
+func (f StalledWorker) Delay(worker int, now uint64) uint64 {
+	if worker != f.Worker || now < f.From || now >= f.Until {
+		return 0
+	}
+	return f.Until - now
+}
+
+// SlowPartition slows a contiguous range of workers — the home workers of
+// a degraded partition — by a fixed per-transaction penalty, modeling a
+// partition on a slow or failing device. Each affected worker pays Extra
+// cycles before every transaction while the window is open.
+type SlowPartition struct {
+	First int    // first affected worker index
+	Count int    // number of affected workers
+	Extra uint64 // per-transaction penalty, in cycles
+	From  uint64 // window start; zero means from the beginning
+	Until uint64 // window end; zero means until the end of the run
+}
+
+// Delay implements the injector contract.
+func (f SlowPartition) Delay(worker int, now uint64) uint64 {
+	if worker < f.First || worker >= f.First+f.Count {
+		return 0
+	}
+	if now < f.From || (f.Until > 0 && now >= f.Until) {
+		return 0
+	}
+	return f.Extra
+}
+
+// LatencySpike stalls every worker for Duration cycles at the start of
+// each Period, modeling periodic interference such as GC pauses or
+// checkpoint flushes. A worker whose clock lands inside a spike is
+// stalled to the spike's end.
+type LatencySpike struct {
+	Period   uint64 // spike cadence, in cycles (> 0)
+	Duration uint64 // spike length, in cycles (< Period)
+}
+
+// Delay implements the injector contract.
+func (f LatencySpike) Delay(worker int, now uint64) uint64 {
+	if f.Period == 0 || f.Duration == 0 {
+		return 0
+	}
+	if phase := now % f.Period; phase < f.Duration {
+		return f.Duration - phase
+	}
+	return 0
+}
+
+// Multi composes injectors: the delay at any point is the maximum over
+// the members, so overlapping faults do not compound into stalls longer
+// than the worst individual fault.
+type Multi []interface {
+	Delay(worker int, now uint64) uint64
+}
+
+// Delay implements the injector contract.
+func (m Multi) Delay(worker int, now uint64) uint64 {
+	var d uint64
+	for _, f := range m {
+		if v := f.Delay(worker, now); v > d {
+			d = v
+		}
+	}
+	return d
+}

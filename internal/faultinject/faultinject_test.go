@@ -1,0 +1,70 @@
+package faultinject
+
+import "testing"
+
+func TestStalledWorker(t *testing.T) {
+	f := StalledWorker{Worker: 2, From: 100, Until: 500}
+	if f.Delay(1, 200) != 0 {
+		t.Fatal("other workers must not stall")
+	}
+	if f.Delay(2, 50) != 0 || f.Delay(2, 500) != 0 || f.Delay(2, 900) != 0 {
+		t.Fatal("stall outside the window")
+	}
+	if got := f.Delay(2, 100); got != 400 {
+		t.Fatalf("delay at window start = %d, want 400", got)
+	}
+	if got := f.Delay(2, 499); got != 1 {
+		t.Fatalf("delay near window end = %d, want 1", got)
+	}
+}
+
+func TestSlowPartition(t *testing.T) {
+	f := SlowPartition{First: 4, Count: 2, Extra: 300, From: 1000, Until: 2000}
+	if f.Delay(3, 1500) != 0 || f.Delay(6, 1500) != 0 {
+		t.Fatal("workers outside the range must not slow down")
+	}
+	if f.Delay(4, 500) != 0 || f.Delay(5, 2000) != 0 {
+		t.Fatal("penalty outside the window")
+	}
+	if f.Delay(4, 1500) != 300 || f.Delay(5, 1000) != 300 {
+		t.Fatal("affected workers should pay the per-txn penalty")
+	}
+	// Zero Until means open-ended.
+	open := SlowPartition{First: 0, Count: 1, Extra: 10}
+	if open.Delay(0, 1<<40) != 10 {
+		t.Fatal("zero Until should mean until the end of the run")
+	}
+}
+
+func TestLatencySpike(t *testing.T) {
+	f := LatencySpike{Period: 1000, Duration: 100}
+	if f.Delay(0, 500) != 0 {
+		t.Fatal("no spike between periods")
+	}
+	if got := f.Delay(0, 2000); got != 100 {
+		t.Fatalf("delay at spike start = %d, want 100", got)
+	}
+	if got := f.Delay(0, 2040); got != 60 {
+		t.Fatalf("delay mid-spike = %d, want 60", got)
+	}
+	var zero LatencySpike
+	if zero.Delay(0, 0) != 0 {
+		t.Fatal("zero-value spike must be inert")
+	}
+}
+
+func TestMultiTakesMax(t *testing.T) {
+	m := Multi{
+		StalledWorker{Worker: 0, From: 0, Until: 1000},
+		LatencySpike{Period: 100, Duration: 50},
+	}
+	if got := m.Delay(0, 10); got != 990 {
+		t.Fatalf("overlapping faults should take the max: got %d, want 990", got)
+	}
+	if got := m.Delay(1, 10); got != 40 {
+		t.Fatalf("spike alone for worker 1: got %d, want 40", got)
+	}
+	if m.Delay(1, 60) != 0 {
+		t.Fatal("no active fault should mean zero delay")
+	}
+}

@@ -47,6 +47,13 @@ const (
 	// cannot disturb it.
 	Log
 
+	// Idle is time a worker spends with no transaction to run: in the
+	// open-loop serving mode (core.Config.Arrivals) it is the wait until
+	// the next arrival. Like Log it is an extension beyond the paper's
+	// taxonomy — closed-loop runs never bill it, so the golden signature
+	// and the breakdown summaries of existing experiments are unchanged.
+	Idle
+
 	// NumComponents is the number of breakdown components.
 	NumComponents
 )
@@ -57,14 +64,14 @@ const (
 const NumPaperComponents = Log
 
 var componentNames = [NumComponents]string{
-	"Useful Work", "Abort", "Ts Alloc.", "Index", "Wait", "Manager", "Log",
+	"Useful Work", "Abort", "Ts Alloc.", "Index", "Wait", "Manager", "Log", "Idle",
 }
 
 // componentKeys are the stable machine-readable identifiers used by the
 // JSON and CSV serializations. They are part of the output format; do not
 // reorder or rename.
 var componentKeys = [NumComponents]string{
-	"useful", "abort", "ts_alloc", "index", "wait", "manager", "log",
+	"useful", "abort", "ts_alloc", "index", "wait", "manager", "log", "idle",
 }
 
 // String returns the display name used in the paper's breakdown figures.
@@ -194,6 +201,7 @@ type breakdownJSON struct {
 	Wait    uint64 `json:"wait"`
 	Manager uint64 `json:"manager"`
 	Log     uint64 `json:"log"`
+	Idle    uint64 `json:"idle"`
 }
 
 // MarshalJSON serializes the per-component cycle totals as an object with
@@ -209,6 +217,7 @@ func (b Breakdown) MarshalJSON() ([]byte, error) {
 		Wait:    b.buckets[Wait],
 		Manager: b.buckets[Manager],
 		Log:     b.buckets[Log],
+		Idle:    b.buckets[Idle],
 	})
 }
 
@@ -227,14 +236,25 @@ func (b *Breakdown) UnmarshalJSON(data []byte) error {
 	b.buckets[Wait] = v.Wait
 	b.buckets[Manager] = v.Manager
 	b.buckets[Log] = v.Log
+	b.buckets[Idle] = v.Idle
 	return nil
 }
 
-// Counters tracks transaction outcomes for a single worker.
+// Counters tracks transaction outcomes for a single worker. Offered, Shed
+// and Deadlined are only nonzero in open-loop (arrival-driven) runs:
+// Offered counts arrivals inside the measurement window, Shed counts
+// arrivals rejected by admission control before execution, and Deadlined
+// counts transactions abandoned past their deadline or retry budget.
+// Closed-loop accounting satisfies Offered == Shed == Deadlined == 0;
+// open-loop accounting satisfies Offered == Commits + Shed + Deadlined +
+// still-queued-at-window-end.
 type Counters struct {
-	Commits uint64 // committed transactions inside the measurement window
-	Aborts  uint64 // aborted attempts inside the measurement window
-	Tuples  uint64 // tuple accesses by committed transactions (Fig. 12)
+	Commits   uint64 // committed transactions inside the measurement window
+	Aborts    uint64 // aborted attempts inside the measurement window
+	Tuples    uint64 // tuple accesses by committed transactions (Fig. 12)
+	Offered   uint64 // open-loop arrivals inside the measurement window
+	Shed      uint64 // arrivals rejected by admission control
+	Deadlined uint64 // transactions abandoned past deadline/retry budget
 }
 
 // Merge adds other's counts into c.
@@ -242,6 +262,9 @@ func (c *Counters) Merge(other *Counters) {
 	c.Commits += other.Commits
 	c.Aborts += other.Aborts
 	c.Tuples += other.Tuples
+	c.Offered += other.Offered
+	c.Shed += other.Shed
+	c.Deadlined += other.Deadlined
 }
 
 // AbortRate returns aborts per commit (the paper's Fig. 5 right axis reports

@@ -148,11 +148,14 @@ func TestFractionsSumToOne(t *testing.T) {
 }
 
 func TestCountersMergeAndRate(t *testing.T) {
-	a := Counters{Commits: 10, Aborts: 5, Tuples: 160}
-	b := Counters{Commits: 2, Aborts: 1, Tuples: 32}
+	a := Counters{Commits: 10, Aborts: 5, Tuples: 160, Offered: 20, Shed: 3, Deadlined: 2}
+	b := Counters{Commits: 2, Aborts: 1, Tuples: 32, Offered: 4, Shed: 1, Deadlined: 1}
 	a.Merge(&b)
 	if a.Commits != 12 || a.Aborts != 6 || a.Tuples != 192 {
 		t.Fatalf("merge wrong: %+v", a)
+	}
+	if a.Offered != 24 || a.Shed != 4 || a.Deadlined != 3 {
+		t.Fatalf("overload counters merge wrong: %+v", a)
 	}
 	if got := a.AbortRate(); got != 0.5 {
 		t.Fatalf("abort rate = %v, want 0.5", got)
@@ -189,10 +192,18 @@ func TestFormatBreakdownMentionsAllComponents(t *testing.T) {
 	if s := FormatBreakdown(&b); !strings.Contains(s, Log.String()) {
 		t.Fatalf("non-zero Log bucket missing: %s", s)
 	}
+	// Same omission rule for Idle (open-loop extension).
+	if s := FormatBreakdown(&b); strings.Contains(s, Idle.String()) {
+		t.Fatalf("zero Idle bucket should be omitted: %s", s)
+	}
+	b.Add(Idle, 1)
+	if s := FormatBreakdown(&b); !strings.Contains(s, Idle.String()) {
+		t.Fatalf("non-zero Idle bucket missing: %s", s)
+	}
 }
 
 func TestComponentKeyStable(t *testing.T) {
-	want := []string{"useful", "abort", "ts_alloc", "index", "wait", "manager", "log"}
+	want := []string{"useful", "abort", "ts_alloc", "index", "wait", "manager", "log", "idle"}
 	for c := Component(0); c < NumComponents; c++ {
 		if c.Key() != want[c] {
 			t.Errorf("Component(%d).Key() = %q, want %q", int(c), c.Key(), want[c])
@@ -213,7 +224,7 @@ func TestBreakdownJSONRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Keys appear in Component order with the stable identifiers.
-	wantOrder := `{"useful":7,"abort":14,"ts_alloc":21,"index":28,"wait":35,"manager":42,"log":49}`
+	wantOrder := `{"useful":7,"abort":14,"ts_alloc":21,"index":28,"wait":35,"manager":42,"log":49,"idle":56}`
 	if string(data) != wantOrder {
 		t.Fatalf("breakdown JSON = %s, want %s", data, wantOrder)
 	}

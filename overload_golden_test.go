@@ -1,0 +1,30 @@
+package abyss1000_test
+
+// The overload tier's contract with the paper reproduction: with every
+// overload knob at its zero value, the closed-loop schedule is
+// byte-identical to the pre-overload engine — even with the tier's
+// plumbing (a live Stop flag, a zero-delay fault injector) attached to
+// every run. The test pins that against the same golden signature the
+// determinism, durability and capture tests use.
+
+import (
+	"os"
+	"testing"
+
+	"abyss1000/bench"
+)
+
+func TestGoldenSignatureOverloadOff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~11 full simulations")
+	}
+	want, err := os.ReadFile("testdata/golden_sim.txt")
+	if err != nil {
+		t.Fatalf("missing pinned signature: %v", err)
+	}
+	got := bench.GoldenSignatureOverloadOff()
+	if got != string(want) {
+		t.Errorf("disengaged overload knobs perturbed the simulated schedule:\n%s",
+			diffLines(string(want), got))
+	}
+}
