@@ -429,6 +429,12 @@ type RunConfig struct {
 	// see StalledWorkerFault, SlowPartitionFault, LatencySpikeFault and
 	// ComposeFaults. Billed to the Idle breakdown component.
 	Fault FaultInjector
+
+	// source, when non-nil, switches the run to remote request dispatch
+	// (workers pull externally submitted requests instead of drawing
+	// work). Set only by DB.Serve — sessions own the admission queues,
+	// arrival stamping and completion plumbing around it.
+	source core.RequestSource
 }
 
 // DefaultRunConfig returns a window sized for quick experiments on this
@@ -509,6 +515,7 @@ func (db *DB) runMeasured(scheme Scheme, wl Workload, cfg RunConfig) (res Result
 		BackoffCap:    cfg.BackoffCap,
 		Fault:         cfg.Fault,
 		Stop:          &db.stop,
+		Source:        cfg.source,
 	}, cfg.Observer)
 	return res, nil
 }

@@ -1,0 +1,353 @@
+package abyss_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"abyss1000/abyss"
+)
+
+func serveYCSB(t *testing.T, cores int) (*abyss.DB, abyss.Workload, abyss.Scheme) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeNative, Cores: cores, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := abyss.DefaultWorkloadParams("ycsb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Rows = 4096
+	wl, err := db.BuildWorkload("ycsb", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, wl, scheme
+}
+
+// TestSessionInvokeDrain pins the Session accounting contract: every
+// invocation gets exactly one reply, and the drained Result's
+// Commits/Deadlined/Offered reconcile with the replies observed by the
+// submitters.
+func TestSessionInvokeDrain(t *testing.T) {
+	db, wl, scheme := serveYCSB(t, 2)
+	s, err := db.Serve(scheme, wl, abyss.ServeConfig{AbortBackoff: time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const clients, per = 4, 50
+	var committed, deadlined atomic.Uint64
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				inv := abyss.Invocation{}
+				if i%2 == 0 {
+					inv.Routed = true
+					inv.Partition = c % s.Workers()
+				}
+				rep, err := s.Invoke(inv)
+				if err != nil {
+					t.Errorf("Invoke: %v", err)
+					return
+				}
+				switch rep.Outcome {
+				case abyss.OutcomeCommitted, abyss.OutcomeUserAbort:
+					committed.Add(1)
+				case abyss.OutcomeDeadlined:
+					deadlined.Add(1)
+				}
+				if rep.Elapsed <= 0 {
+					t.Errorf("Elapsed = %v, want > 0", rep.Elapsed)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	res, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != committed.Load() {
+		t.Fatalf("Result.Commits = %d, committed replies = %d", res.Commits, committed.Load())
+	}
+	if res.Deadlined != deadlined.Load() {
+		t.Fatalf("Result.Deadlined = %d, deadlined replies = %d", res.Deadlined, deadlined.Load())
+	}
+	if res.Offered != clients*per {
+		t.Fatalf("Result.Offered = %d, want %d", res.Offered, clients*per)
+	}
+	if res.Shed != 0 {
+		t.Fatalf("Result.Shed = %d, want 0", res.Shed)
+	}
+	if res.MeasureCycles == 0 || res.MeasureCycles >= uint64(1)<<62 {
+		t.Fatalf("MeasureCycles = %d, want the actual serving span", res.MeasureCycles)
+	}
+	if res.Latency.Count() != res.Commits {
+		t.Fatalf("latency count %d != commits %d", res.Latency.Count(), res.Commits)
+	}
+	if res.GoodputTPS() <= 0 {
+		t.Fatalf("GoodputTPS = %g, want > 0", res.GoodputTPS())
+	}
+
+	// Drain is idempotent and the session refuses new work.
+	res2, err := s.Drain()
+	if err != nil || res2.MeasureCycles != res.MeasureCycles || res2.Commits != res.Commits {
+		t.Fatalf("second Drain = (%+v, %v), want the first result", res2, err)
+	}
+	if _, err := s.Invoke(abyss.Invocation{}); !errors.Is(err, abyss.ErrSessionClosed) {
+		t.Fatalf("Invoke after Drain = %v, want ErrSessionClosed", err)
+	}
+}
+
+// slowTxn sleeps in its body — real wall time on the native runtime —
+// and binds its sleep via ArgBinder so tests can park a worker.
+type slowTxn struct {
+	table *abyss.Table
+	idx   *abyss.Index
+	key   uint64
+	sleep time.Duration
+}
+
+func (s *slowTxn) Generate(p abyss.Proc) { s.key = uint64(p.Rand().Intn(64)); s.sleep = 0 }
+
+func (s *slowTxn) BindArgs(args []int64) error {
+	if len(args) != 2 {
+		return fmt.Errorf("want [key, sleepNs], got %d args", len(args))
+	}
+	if args[0] < 0 || args[0] >= 64 {
+		return fmt.Errorf("key %d out of range", args[0])
+	}
+	s.key = uint64(args[0])
+	s.sleep = time.Duration(args[1])
+	return nil
+}
+
+func (s *slowTxn) Run(tx *abyss.TxnCtx) error {
+	if s.sleep > 0 {
+		time.Sleep(s.sleep)
+	}
+	slot, ok := tx.Lookup(s.idx, s.key)
+	if !ok {
+		return fmt.Errorf("key %d not found", s.key)
+	}
+	row, err := tx.Read(s.table, slot)
+	if err != nil {
+		return err
+	}
+	_ = row
+	return nil
+}
+
+func (s *slowTxn) Partitions() []int { return nil }
+
+// plainTxn has no ArgBinder, to pin the rejection path.
+type plainTxn struct {
+	table *abyss.Table
+	idx   *abyss.Index
+	key   uint64
+}
+
+func (t *plainTxn) Generate(p abyss.Proc) { t.key = uint64(p.Rand().Intn(64)) }
+
+func (t *plainTxn) Run(tx *abyss.TxnCtx) error {
+	slot, ok := tx.Lookup(t.idx, t.key)
+	if !ok {
+		return fmt.Errorf("key %d not found", t.key)
+	}
+	_, err := tx.Read(t.table, slot)
+	return err
+}
+
+func (t *plainTxn) Partitions() []int { return nil }
+
+func serveMix(t *testing.T, cores int) (*abyss.DB, *abyss.Mix) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeNative, Cores: cores, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := db.CreateTable(abyss.TableSpec{
+		Name:     "T",
+		Cols:     []abyss.Col{{Name: "K", Width: 8}, {Name: "V", Width: 8}},
+		Capacity: 64, Loaded: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := db.CreateIndex("T_PK", table, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		row := table.LoadRow(i)
+		table.Schema.PutU64(row, 0, uint64(i))
+		idx.LoadInsert(uint64(i), i)
+	}
+	mix, err := db.NewMix(
+		abyss.TxnSpec{Name: "touch", Weight: 1, New: func(int) abyss.Txn { return &slowTxn{table: table, idx: idx} }},
+		abyss.TxnSpec{Name: "plain", Weight: 1, New: func(int) abyss.Txn { return &plainTxn{table: table, idx: idx} }},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, mix
+}
+
+// TestSessionProceduresAndArgs pins the stored-procedure surface: named
+// invocation, ArgBinder binding, and the rejection paths (unknown
+// procedure, args on an anonymous draw, args without a binder).
+func TestSessionProceduresAndArgs(t *testing.T) {
+	db, mix := serveMix(t, 2)
+	scheme, err := abyss.NewScheme("DL_DETECT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Serve(scheme, mix, abyss.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+
+	if got := s.Procedures(); len(got) != 2 || got[0] != "touch" {
+		t.Fatalf("Procedures = %v", got)
+	}
+	rep, err := s.Invoke(abyss.Invocation{Proc: "touch", Args: []int64{5, 0}, Routed: true, Partition: 1})
+	if err != nil || rep.Outcome != abyss.OutcomeCommitted {
+		t.Fatalf("touch(5) = (%+v, %v), want committed", rep, err)
+	}
+	if _, err := s.Invoke(abyss.Invocation{Proc: "nope"}); err == nil || !strings.Contains(err.Error(), "no procedure") {
+		t.Fatalf("unknown proc err = %v", err)
+	}
+	if _, err := s.Invoke(abyss.Invocation{Args: []int64{1}}); err == nil || !strings.Contains(err.Error(), "anonymous") {
+		t.Fatalf("anonymous-with-args err = %v", err)
+	}
+	if _, err := s.Invoke(abyss.Invocation{Proc: "plain", Args: []int64{1, 2}}); err == nil || !strings.Contains(err.Error(), "ArgBinder") {
+		t.Fatalf("no-binder err = %v", err)
+	}
+	if _, err := s.Invoke(abyss.Invocation{Proc: "touch", Args: []int64{999, 0}}); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("bad-args err = %v", err)
+	}
+	if _, err := s.Invoke(abyss.Invocation{Routed: true, Partition: -1}); err == nil {
+		t.Fatal("negative partition accepted")
+	}
+}
+
+// TestSessionShedAndDeadline drives a session with one worker, a tiny
+// queue and a parked worker: admission overflow sheds with ErrShed, and
+// a queued invocation whose deadline lapses comes back OutcomeDeadlined
+// without executing.
+func TestSessionShedAndDeadline(t *testing.T) {
+	db, mix := serveMix(t, 1)
+	scheme, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := db.Serve(scheme, mix, abyss.ServeConfig{QueueDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Park the single worker for 100 ms.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := s.Invoke(abyss.Invocation{Proc: "touch", Args: []int64{1, int64(100 * time.Millisecond)}}); err != nil {
+			t.Errorf("parked invoke: %v", err)
+		}
+	}()
+	time.Sleep(20 * time.Millisecond) // let the worker pick it up
+
+	// The queue holds one; a second concurrent submission must shed.
+	type outcome struct {
+		rep abyss.Reply
+		err error
+	}
+	done := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			rep, err := s.Invoke(abyss.Invocation{Proc: "touch", Args: []int64{2, 0}, Deadline: time.Nanosecond})
+			done <- outcome{rep, err}
+		}()
+	}
+	var sheds, deadlined int
+	for i := 0; i < 2; i++ {
+		switch o := <-done; {
+		case errors.Is(o.err, abyss.ErrShed):
+			sheds++
+		case o.err == nil && o.rep.Outcome == abyss.OutcomeDeadlined:
+			deadlined++
+		default:
+			t.Fatalf("unexpected outcome (%+v, %v)", o.rep, o.err)
+		}
+	}
+	if sheds != 1 || deadlined != 1 {
+		t.Fatalf("sheds = %d, deadlined = %d, want 1 and 1 (queue depth 1, 1ns deadline)", sheds, deadlined)
+	}
+	wg.Wait()
+
+	s.NoteShed(3)
+	res, err := s.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 1+3 {
+		t.Fatalf("Result.Shed = %d, want 4 (1 admission + 3 noted)", res.Shed)
+	}
+	if res.Deadlined != 1 {
+		t.Fatalf("Result.Deadlined = %d, want 1 (queued past its 1ns deadline)", res.Deadlined)
+	}
+	if c := s.Counters(); c.Offered != res.Offered || c.Shed != res.Shed {
+		t.Fatalf("Counters %+v disagree with Result (offered %d, shed %d)", c, res.Offered, res.Shed)
+	}
+}
+
+// TestServeValidation pins the front-door validation errors.
+func TestServeValidation(t *testing.T) {
+	simDB, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := abyss.DefaultWorkloadParams("ycsb")
+	p.Rows = 1024
+	wl, err := simDB.BuildWorkload("ycsb", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scheme, _ := abyss.NewScheme("NO_WAIT")
+	if _, err := simDB.Serve(scheme, wl, abyss.ServeConfig{}); err == nil || !strings.Contains(err.Error(), "native") {
+		t.Fatalf("sim Serve err = %v, want native-runtime requirement", err)
+	}
+
+	db, wl2, scheme2 := serveYCSB(t, 1)
+	if _, err := db.Serve(scheme2, wl2, abyss.ServeConfig{QueueDepth: -1}); err == nil {
+		t.Fatal("negative QueueDepth accepted")
+	}
+	if _, err := db.Serve(scheme2, wl2, abyss.ServeConfig{RetryLimit: -1}); err == nil {
+		t.Fatal("negative RetryLimit accepted")
+	}
+	// The DB's single measurement is still unclaimed after failed
+	// validation; a session claims it and a second Serve errors.
+	s, err := db.Serve(scheme2, wl2, abyss.ServeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain()
+	if _, err := db.Serve(scheme2, wl2, abyss.ServeConfig{}); err == nil || !strings.Contains(err.Error(), "already ran") {
+		t.Fatalf("second Serve err = %v, want already-ran", err)
+	}
+}

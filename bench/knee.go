@@ -44,8 +44,17 @@ func (p Params) kneeJob(scheme string, cores int, rate float64) Job {
 	return j
 }
 
-// ExtensionKnee builds the offered-vs-goodput knee figure: one series per
-// tuple-level scheme, x = offered load (ktxn/s), y = goodput (ktxn/s).
+// kneeLatencySuffixes name the per-scheme commit-latency series appended
+// after the goodput series: "<scheme>:lat_p50" and "<scheme>:lat_p99".
+// The names are stable JSON/CSV keys — scripts select on them.
+var kneeLatencySuffixes = []string{":lat_p50", ":lat_p99"}
+
+// ExtensionKnee builds the offered-vs-goodput knee figure. The first
+// len(SchemeNames) series are goodput per scheme (x = offered ktxn/s,
+// y = goodput ktxn/s); they are followed by two commit-latency series per
+// scheme ("<scheme>:lat_p50", "<scheme>:lat_p99", in kcycles) taken from
+// the same runs' Latency histograms — engine-side arrival-to-commit
+// latency including queueing delay, independent of any wire transport.
 func ExtensionKnee(p Params, pl *Plan) *Figure {
 	cores := p.capCores(16)
 	fig := &Figure{
@@ -53,15 +62,31 @@ func ExtensionKnee(p Params, pl *Plan) *Figure {
 		Title:  fmt.Sprintf("Overload knee: offered load vs goodput (YCSB theta=0.6, %d cores, queue depth %d)", cores, kneeQueueDepth),
 		XLabel: "offered ktxn/s",
 		YLabel: "goodput ktxn/s",
-		Notes:  "open-loop Poisson arrivals with bounded admission queues; below the knee goodput tracks offered load, past it admission control sheds the excess",
+		Notes:  "open-loop Poisson arrivals with bounded admission queues; below the knee goodput tracks offered load, past it admission control sheds the excess; the :lat_p50/:lat_p99 series give commit latency per rung in kcycles (arrival to commit, queueing included)",
 	}
-	for _, name := range SchemeNames {
+	// Each (scheme, rate) job runs exactly once; the goodput and latency
+	// series share the stored Results. Plan replay (runner.go) requires
+	// the pl.Run sequence to be identical across phases, so the latency
+	// series must not issue runs of their own.
+	results := make([][]core.Result, len(SchemeNames))
+	for i, name := range SchemeNames {
 		s := Series{Name: name}
 		for _, rate := range kneeOffered {
 			r := pl.Run(p.kneeJob(name, cores, rate))
+			results[i] = append(results[i], r)
 			s.addPoint(rate/1e3, r, func(r core.Result) float64 { return r.GoodputTPS() / 1e3 })
 		}
 		fig.Series = append(fig.Series, s)
+	}
+	for i, name := range SchemeNames {
+		p50 := Series{Name: name + kneeLatencySuffixes[0]}
+		p99 := Series{Name: name + kneeLatencySuffixes[1]}
+		for j, rate := range kneeOffered {
+			r := results[i][j]
+			p50.addPoint(rate/1e3, r, func(r core.Result) float64 { return float64(r.Latency.P50()) / 1e3 })
+			p99.addPoint(rate/1e3, r, func(r core.Result) float64 { return float64(r.Latency.P99()) / 1e3 })
+		}
+		fig.Series = append(fig.Series, p50, p99)
 	}
 	return fig
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"encoding/json"
+	"strings"
 	"sync/atomic"
 	"testing"
 
@@ -22,10 +24,11 @@ func TestKneeExperiment(t *testing.T) {
 		t.Fatal(err)
 	}
 	fig := e.Build(p, nil)
-	if len(fig.Series) != len(SchemeNames) {
-		t.Fatalf("knee has %d series, want %d", len(fig.Series), len(SchemeNames))
+	// Goodput series first, then two latency series per scheme.
+	if want := len(SchemeNames) * (1 + len(kneeLatencySuffixes)); len(fig.Series) != want {
+		t.Fatalf("knee has %d series, want %d", len(fig.Series), want)
 	}
-	for _, s := range fig.Series {
+	for _, s := range fig.Series[:len(SchemeNames)] {
 		if len(s.Points) != len(kneeOffered) {
 			t.Fatalf("series %s has %d points, want %d", s.Name, len(s.Points), len(kneeOffered))
 		}
@@ -47,11 +50,84 @@ func TestKneeExperiment(t *testing.T) {
 			t.Errorf("series %s queue depth %d exceeds the %d bound", s.Name, hi.QueueDepth.Max(), kneeQueueDepth)
 		}
 	}
+	// The latency series reuse the goodput runs' Results: names are the
+	// stable "<scheme>:lat_p50"/"<scheme>:lat_p99" keys, p99 dominates
+	// p50, and committed points carry nonzero latency.
+	for i, name := range SchemeNames {
+		p50 := fig.Series[len(SchemeNames)+2*i]
+		p99 := fig.Series[len(SchemeNames)+2*i+1]
+		if p50.Name != name+":lat_p50" || p99.Name != name+":lat_p99" {
+			t.Fatalf("latency series for %s named %q/%q", name, p50.Name, p99.Name)
+		}
+		if len(p50.Points) != len(kneeOffered) || len(p99.Points) != len(kneeOffered) {
+			t.Fatalf("latency series for %s have %d/%d points, want %d",
+				name, len(p50.Points), len(p99.Points), len(kneeOffered))
+		}
+		for j := range p50.Points {
+			goodput := fig.Series[i].Points[j]
+			if p50.Points[j].Res.Commits != goodput.Res.Commits {
+				t.Fatalf("series %s point %d does not reuse the goodput run's Result", p50.Name, j)
+			}
+			if p99.Points[j].Y < p50.Points[j].Y {
+				t.Errorf("series %s point %d: p99 %.3f < p50 %.3f", name, j, p99.Points[j].Y, p50.Points[j].Y)
+			}
+			if goodput.Res.Commits > 0 && p50.Points[j].Y <= 0 {
+				t.Errorf("series %s point %d committed %d txns with zero p50 latency", name, j, goodput.Res.Commits)
+			}
+		}
+	}
 	// The knee figure is a pure sweep: serial and pooled builds agree.
 	par := e.Build(p, &Runner{Workers: 4})
 	if fig.Format() != par.Format() {
 		t.Error("knee figure differs between serial and parallel builds")
 	}
+}
+
+// TestKneeOutputKeys pins the knee figure's JSON/CSV surface: the latency
+// series keys are stable, and the figure round-trips through its JSON
+// form point for point.
+func TestKneeOutputKeys(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs small open-loop simulations")
+	}
+	p := tinyParams()
+	e, err := Lookup("knee")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := e.Build(p, nil)
+	rep := NewReport(RunMeta{Paper: "test"}, []Experiment{e}, []*Figure{fig})
+
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"NO_WAIT:lat_p50"`, `"NO_WAIT:lat_p99"`, `"MVCC:lat_p50"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("report JSON missing series key %s", key)
+		}
+	}
+	csv := rep.CSV()
+	if !strings.Contains(csv, "NO_WAIT:lat_p99") {
+		t.Error("report CSV missing the NO_WAIT:lat_p99 series rows")
+	}
+
+	var back Figure
+	if err := json.Unmarshal(mustMarshal(t, fig), &back); err != nil {
+		t.Fatalf("figure round trip: %v", err)
+	}
+	if back.Format() != fig.Format() {
+		t.Error("figure diverged through the JSON round trip")
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
 }
 
 // TestRunnerStopDrains pins the graceful-interruption contract of the

@@ -31,7 +31,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -40,6 +39,7 @@ import (
 
 	"abyss1000/abyss"
 	"abyss1000/bench"
+	"abyss1000/cmd/internal/cli"
 )
 
 func main() {
@@ -137,7 +137,7 @@ func main() {
 			os.Exit(1)
 		}
 		if interrupted {
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 		return
 	default:
@@ -191,19 +191,14 @@ func runExperiments(experiments []bench.Experiment, params bench.Params, scale s
 	if !quiet {
 		runner.OnProgress = progressPrinter()
 	}
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	go func() {
-		if _, ok := <-sig; ok {
-			stop.Store(true)
-			fmt.Fprintln(os.Stderr, "\nabyss-bench: interrupt — draining in-flight points, remaining points will be zero")
-		}
-	}()
+	stopSig, _ := cli.NotifyDrain(func(os.Signal) {
+		stop.Store(true)
+		fmt.Fprintln(os.Stderr, "\nabyss-bench: interrupt — draining in-flight points, remaining points will be zero")
+	}, os.Interrupt)
 
 	start := time.Now()
 	figs := bench.BuildAll(experiments, params, runner)
-	signal.Stop(sig)
-	close(sig)
+	stopSig()
 	if !quiet {
 		fmt.Fprintf(os.Stderr, "\r%-78s\r[%d experiments in %v, %d workers, max %d cores]\n",
 			"", len(experiments), time.Since(start).Round(time.Millisecond), runner.Workers, params.MaxCores)

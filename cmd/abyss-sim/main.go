@@ -21,11 +21,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
 	"abyss1000/abyss"
+	"abyss1000/cmd/internal/cli"
 
 	// Register the chaos fuzz workload and the SmallBank extension.
 	_ "abyss1000/workloads/chaos"
@@ -243,26 +243,16 @@ func main() {
 			// Interrupted: the workers were asked to drain; partial
 			// results were printed. Exit non-zero so scripts can tell a
 			// cut-short run from a completed one.
-			os.Exit(130)
+			os.Exit(cli.ExitInterrupted)
 		}
 		res, err = wait()
 	} else {
 		// A plain run drains gracefully on SIGINT too: the handler flips
 		// the DB's stop flag, every worker finishes its current
 		// transaction, and Run returns the partial window.
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		done := make(chan struct{})
-		go func() {
-			select {
-			case <-sig:
-				db.Interrupt()
-			case <-done:
-			}
-		}()
+		stopSig, _ := cli.NotifyDrain(func(os.Signal) { db.Interrupt() }, os.Interrupt)
 		res, err = db.Run(scheme, wl, rc)
-		close(done)
-		signal.Stop(sig)
+		stopSig()
 	}
 	if err != nil {
 		fail(err)
@@ -276,7 +266,7 @@ func main() {
 	}
 	if db.Interrupted() {
 		fmt.Println("interrupted: partial window (results above cover the cycles served before the stop)")
-		os.Exit(130)
+		os.Exit(cli.ExitInterrupted)
 	}
 
 	if *check {
@@ -320,12 +310,11 @@ func main() {
 
 // streamSamples prints live per-interval lines until the channel closes
 // or the user interrupts. On SIGINT it asks the run to drain (so the
-// workers stop cleanly), drains whatever samples are already buffered,
-// prints a partial summary from them, and reports true.
+// workers stop cleanly and the sample channel closes after the partial
+// window), prints a partial summary, and reports true.
 func streamSamples(samples <-chan abyss.Sample, measure uint64, db *abyss.DB) (interrupted bool) {
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	defer signal.Stop(sig)
+	stopSig, fired := cli.NotifyDrain(func(os.Signal) { db.Interrupt() }, os.Interrupt)
+	defer stopSig()
 	var (
 		commits, aborts, cycles uint64
 		lat                     abyss.Histogram
@@ -339,39 +328,20 @@ func streamSamples(samples <-chan abyss.Sample, measure uint64, db *abyss.DB) (i
 			len(fmt.Sprint(measure)), s.EndCycle, measure,
 			s.Throughput(), s.AbortFraction()*100, s.Latency.P50(), s.Latency.P99())
 	}
-	for {
-		select {
-		case s, ok := <-samples:
-			if !ok {
-				return false
-			}
-			printLine(s)
-		case <-sig:
-			db.Interrupt()
-			// Drain the buffered samples (the channel holds the whole
-			// run, so this never blocks on the measurement).
-			for {
-				select {
-				case s, ok := <-samples:
-					if !ok {
-						goto done
-					}
-					printLine(s)
-				default:
-					goto done
-				}
-			}
-		done:
-			total := commits + aborts
-			abortPct := 0.0
-			if total > 0 {
-				abortPct = 100 * float64(aborts) / float64(total)
-			}
-			fmt.Printf("\ninterrupted at %d/%d cycles: %d commits, %d aborts (%.1f%%), p50 %d, p99 %d cyc (partial)\n",
-				cycles, measure, commits, aborts, abortPct, lat.P50(), lat.P99())
-			return true
-		}
+	for s := range samples {
+		printLine(s)
 	}
+	if !fired() {
+		return false
+	}
+	total := commits + aborts
+	abortPct := 0.0
+	if total > 0 {
+		abortPct = 100 * float64(aborts) / float64(total)
+	}
+	fmt.Printf("\ninterrupted at %d/%d cycles: %d commits, %d aborts (%.1f%%), p50 %d, p99 %d cyc (partial)\n",
+		cycles, measure, commits, aborts, abortPct, lat.P50(), lat.P99())
+	return true
 }
 
 // logStream returns the captured WAL bytes: the memory sink's buffer, or

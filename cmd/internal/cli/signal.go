@@ -1,0 +1,48 @@
+// Package cli holds small helpers shared by the abyss command-line
+// binaries. It lives under cmd/internal so only the commands can import
+// it; the public abyss API stays in the abyss package.
+package cli
+
+import (
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+)
+
+// ExitInterrupted is the exit code (128 + SIGINT) the binaries share for
+// a run cut short by an interrupt: partial results were printed, but
+// scripts can tell the run did not complete.
+const ExitInterrupted = 130
+
+// NotifyDrain installs the drain-on-signal handler every binary shares:
+// the first signal in sigs runs drain on its own goroutine (flip a stop
+// flag, interrupt the DB, shut a server down — the drain owns the
+// semantics); later signals are ignored while the drain completes, so a
+// second Ctrl-C does not kill a half-drained process.
+//
+// The returned stop releases the handler (idempotent; call it once the
+// guarded region ends so later signals get default handling again);
+// fired reports whether a signal arrived.
+func NotifyDrain(drain func(os.Signal), sigs ...os.Signal) (stop func(), fired func() bool) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, sigs...)
+	var hit atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		select {
+		case s := <-ch:
+			hit.Store(true)
+			drain(s)
+		case <-done:
+		}
+	}()
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+	}
+	return stop, hit.Load
+}

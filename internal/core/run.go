@@ -81,6 +81,14 @@ type Config struct {
 	// The Result covers the window served so far. This is the engine end
 	// of graceful SIGINT handling.
 	Stop *atomic.Bool
+
+	// Source, when non-nil, switches the run to remote request dispatch:
+	// workers pull externally submitted Requests from the source instead
+	// of drawing work themselves (see serve.go). Mutually exclusive with
+	// Arrivals — admission queues and shedding live upstream in the
+	// session that owns the source, so QueueDepth/ShedTypes do not apply
+	// either. An interface, so Config stays comparable when unset.
+	Source RequestSource
 }
 
 // DefaultConfig returns a window sized for quick experiments: 0.4 ms of
@@ -117,11 +125,19 @@ func (c Config) Validate() error {
 		return errors.New("core: Config.RetryLimit must not be negative")
 	}
 	if !c.Arrivals.Open() {
-		if c.QueueDepth > 0 {
+		if c.QueueDepth > 0 && c.Source == nil {
 			return errors.New("core: Config.QueueDepth requires an open-loop arrival process (set Arrivals)")
 		}
 		if c.ShedTypes != "" {
 			return errors.New("core: Config.ShedTypes requires an open-loop arrival process (set Arrivals)")
+		}
+	}
+	if c.Source != nil {
+		if c.Arrivals.Open() {
+			return errors.New("core: Config.Source and Config.Arrivals are mutually exclusive — remote requests arrive from the source, not a synthetic process")
+		}
+		if c.QueueDepth > 0 {
+			return errors.New("core: Config.QueueDepth does not apply with Config.Source — admission queues live in the serving session")
 		}
 	}
 	return nil
@@ -289,9 +305,12 @@ func RunObserved(db *DB, scheme Scheme, wl Workload, cfg Config, obs Observer) R
 		workers[p.ID()] = w
 		warmEnd := cfg.WarmupCycles
 		end := warmEnd + cfg.MeasureCycles
-		if open {
+		switch {
+		case cfg.Source != nil:
+			w.serveRemote(wl, cfg.Source, cfg, warmEnd, end)
+		case open:
 			w.serveOpen(wl, cfg, shedMask, warmEnd, end, n)
-		} else {
+		default:
 			w.serveClosed(wl, cfg, warmEnd, end)
 		}
 		w.finishSampling()

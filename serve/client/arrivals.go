@@ -1,0 +1,175 @@
+package client
+
+// Wall-clock open-loop arrival generation. The math mirrors the engine's
+// internal arrival generator (internal/core): exponential interarrival
+// gaps, and for MMPP the exact modulated-process simulation — a gap that
+// would cross the state boundary is discarded and redrawn at the boundary
+// under the new state's rate, justified by the memorylessness of the
+// exponential. Here the clock is wall time in nanoseconds rather than
+// engine cycles, and each connection owns an independent stream seeded
+// from the spec seed and its connection index, so a load run's offered
+// sequence is reproducible.
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Process selects the client-side arrival process.
+type Process int
+
+const (
+	// Poisson offers load at a constant rate.
+	Poisson Process = iota
+
+	// MMPP offers bursty load: a two-state Markov-modulated Poisson
+	// process alternating calm and burst rates with exponentially
+	// distributed dwell times.
+	MMPP
+)
+
+// ArrivalSpec configures the offered load, aggregate across all
+// connections.
+type ArrivalSpec struct {
+	// Process selects Poisson or MMPP.
+	Process Process
+
+	// RateTPS is the aggregate offered rate (the calm rate for MMPP).
+	RateTPS float64
+
+	// BurstRateTPS is the MMPP burst-state aggregate rate.
+	BurstRateTPS float64
+
+	// CalmDwell and BurstDwell are the MMPP mean state dwell times.
+	CalmDwell  time.Duration
+	BurstDwell time.Duration
+}
+
+// Validate rejects parameters that cannot generate arrivals.
+func (a ArrivalSpec) Validate() error {
+	switch a.Process {
+	case Poisson:
+		if a.RateTPS <= 0 {
+			return fmt.Errorf("client: Poisson arrivals need RateTPS > 0, got %g", a.RateTPS)
+		}
+		return nil
+	case MMPP:
+		if a.RateTPS <= 0 || a.BurstRateTPS <= 0 {
+			return fmt.Errorf("client: MMPP arrivals need RateTPS and BurstRateTPS > 0")
+		}
+		if a.CalmDwell <= 0 || a.BurstDwell <= 0 {
+			return fmt.Errorf("client: MMPP arrivals need positive CalmDwell and BurstDwell")
+		}
+		return nil
+	default:
+		return fmt.Errorf("client: unknown arrival process %d", int(a.Process))
+	}
+}
+
+// ParseArrivalSpec parses the CLI form:
+//
+//	poisson:RATE
+//	mmpp:CALMRATE:BURSTRATE:CALMDWELL:BURSTDWELL
+//
+// Rates are transactions per second; dwells are Go durations (e.g.
+// "200ms").
+func ParseArrivalSpec(s string) (ArrivalSpec, error) {
+	parts := strings.Split(s, ":")
+	switch parts[0] {
+	case "poisson":
+		if len(parts) != 2 {
+			return ArrivalSpec{}, fmt.Errorf("client: want poisson:RATE, got %q", s)
+		}
+		rate, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return ArrivalSpec{}, fmt.Errorf("client: bad rate in %q: %w", s, err)
+		}
+		spec := ArrivalSpec{Process: Poisson, RateTPS: rate}
+		return spec, spec.Validate()
+	case "mmpp":
+		if len(parts) != 5 {
+			return ArrivalSpec{}, fmt.Errorf("client: want mmpp:CALMRATE:BURSTRATE:CALMDWELL:BURSTDWELL, got %q", s)
+		}
+		calm, err1 := strconv.ParseFloat(parts[1], 64)
+		burst, err2 := strconv.ParseFloat(parts[2], 64)
+		calmD, err3 := time.ParseDuration(parts[3])
+		burstD, err4 := time.ParseDuration(parts[4])
+		for _, err := range []error{err1, err2, err3, err4} {
+			if err != nil {
+				return ArrivalSpec{}, fmt.Errorf("client: bad mmpp spec %q: %w", s, err)
+			}
+		}
+		spec := ArrivalSpec{Process: MMPP, RateTPS: calm, BurstRateTPS: burst, CalmDwell: calmD, BurstDwell: burstD}
+		return spec, spec.Validate()
+	default:
+		return ArrivalSpec{}, fmt.Errorf("client: unknown arrival process %q (want poisson or mmpp)", parts[0])
+	}
+}
+
+// arrivalGen produces one connection's share of the arrival stream, in
+// nanoseconds since the run start.
+type arrivalGen struct {
+	rng        *rand.Rand
+	calmMean   float64 // mean interarrival, calm state (ns)
+	burstMean  float64 // mean interarrival, burst state (ns)
+	calmDwell  float64 // mean dwell, calm state (ns)
+	burstDwell float64
+	mmpp       bool
+	inBurst    bool
+	stateEnd   float64
+	clock      float64
+	next       float64
+}
+
+// newArrivalGen splits the aggregate spec evenly across conns connections
+// and seeds connection conn's independent stream.
+func newArrivalGen(a ArrivalSpec, conn, conns int, seed int64) *arrivalGen {
+	const nsPerSec = 1e9
+	g := &arrivalGen{
+		rng:      rand.New(rand.NewSource(seed + int64(conn)*0x9E3779B97F4A7C + 1)),
+		calmMean: nsPerSec / (a.RateTPS / float64(conns)),
+		mmpp:     a.Process == MMPP,
+	}
+	if g.mmpp {
+		g.burstMean = nsPerSec / (a.BurstRateTPS / float64(conns))
+		g.calmDwell = float64(a.CalmDwell)
+		g.burstDwell = float64(a.BurstDwell)
+		g.stateEnd = g.rng.ExpFloat64() * g.calmDwell
+	}
+	g.step()
+	return g
+}
+
+// step draws the next arrival, switching MMPP states at exponentially
+// distributed boundaries exactly as the engine-side generator does.
+func (g *arrivalGen) step() {
+	for {
+		mean := g.calmMean
+		if g.inBurst {
+			mean = g.burstMean
+		}
+		gap := g.rng.ExpFloat64() * mean
+		if !g.mmpp || g.clock+gap <= g.stateEnd {
+			g.clock += gap
+			g.next = g.clock
+			return
+		}
+		g.clock = g.stateEnd
+		g.inBurst = !g.inBurst
+		dwell := g.calmDwell
+		if g.inBurst {
+			dwell = g.burstDwell
+		}
+		g.stateEnd = g.clock + g.rng.ExpFloat64()*dwell
+	}
+}
+
+// take consumes and returns the next arrival offset from the run start.
+func (g *arrivalGen) take() time.Duration {
+	t := time.Duration(g.next)
+	g.step()
+	return t
+}

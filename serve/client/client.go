@@ -1,0 +1,204 @@
+// Package client is the Go client for an abyss-serve front door: single
+// connections over either transport (Dial), and an open-loop remote load
+// generator (Run) that offers Poisson/MMPP arrivals over the wire and
+// reports offered-vs-goodput with wire-latency histograms.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"abyss1000/serve"
+)
+
+// Conn is one client connection to a server, over either transport.
+// Invoke blocks until the reply arrives; binary connections multiplex, so
+// many goroutines may Invoke concurrently on one Conn.
+type Conn interface {
+	// Invoke sends one request and waits for its reply. The error is
+	// transport-level only — backpressure outcomes (shed, closed,
+	// rejected) come back in the reply.
+	Invoke(req serve.InvokeRequest) (serve.InvokeReply, error)
+
+	// Close releases the connection; pending binary invocations fail.
+	Close() error
+}
+
+// Dial opens one connection: proto is "http" or "binary".
+func Dial(proto, addr string) (Conn, error) {
+	switch proto {
+	case "http":
+		return DialHTTP(addr), nil
+	case "binary":
+		return DialBinary(addr)
+	default:
+		return nil, fmt.Errorf("client: unknown protocol %q (want \"http\" or \"binary\")", proto)
+	}
+}
+
+// httpConn serves invocations over HTTP/1.1 JSON. Each httpConn owns its
+// transport, capped at one TCP connection, so N httpConns model N real
+// connections against the server's per-connection windows.
+type httpConn struct {
+	url    string
+	client *http.Client
+}
+
+// DialHTTP prepares an HTTP connection to addr (host:port). The TCP
+// connection itself is established lazily by the first Invoke.
+func DialHTTP(addr string) Conn {
+	t := &http.Transport{
+		MaxConnsPerHost:     1,
+		MaxIdleConnsPerHost: 1,
+		IdleConnTimeout:     90 * time.Second,
+	}
+	return &httpConn{
+		url:    "http://" + addr + "/invoke",
+		client: &http.Client{Transport: t},
+	}
+}
+
+func (c *httpConn) Invoke(req serve.InvokeRequest) (serve.InvokeReply, error) {
+	body, err := serve.EncodeHTTPRequest(req)
+	if err != nil {
+		return serve.InvokeReply{}, err
+	}
+	resp, err := c.client.Post(c.url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return serve.InvokeReply{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, serve.MaxFrame))
+	if err != nil {
+		return serve.InvokeReply{}, err
+	}
+	return serve.DecodeHTTPReply(data)
+}
+
+func (c *httpConn) Close() error {
+	c.client.CloseIdleConnections()
+	return nil
+}
+
+// binConn is one pipelined binary connection: requests carry ids, a
+// single reader goroutine demultiplexes replies to their waiters.
+type binConn struct {
+	conn   net.Conn
+	wmu    sync.Mutex // serializes request frames
+	nextID atomic.Uint64
+
+	mu      sync.Mutex
+	pending map[uint64]chan serve.InvokeReply
+	readErr error
+	closed  bool
+	done    chan struct{}
+}
+
+// DialBinary opens one binary-protocol connection.
+func DialBinary(addr string) (Conn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &binConn{
+		conn:    conn,
+		pending: make(map[uint64]chan serve.InvokeReply),
+		done:    make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// readLoop demultiplexes reply frames until the connection dies, then
+// fails every waiter.
+func (c *binConn) readLoop() {
+	r := bufio.NewReaderSize(c.conn, 32*1024)
+	var buf []byte
+	for {
+		payload, grown, err := serve.ReadFrame(r, buf)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		buf = grown
+		id, rep, err := serve.ParseReply(payload)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ok {
+			ch <- rep // buffered; never blocks
+		}
+	}
+}
+
+// fail poisons the connection: records the first error and wakes every
+// pending Invoke.
+func (c *binConn) fail(err error) {
+	c.mu.Lock()
+	if c.readErr == nil {
+		if c.closed {
+			c.readErr = fmt.Errorf("client: connection closed")
+		} else {
+			c.readErr = err
+		}
+		close(c.done)
+	}
+	c.pending = make(map[uint64]chan serve.InvokeReply)
+	c.mu.Unlock()
+}
+
+func (c *binConn) Invoke(req serve.InvokeRequest) (serve.InvokeReply, error) {
+	id := c.nextID.Add(1)
+	ch := make(chan serve.InvokeReply, 1)
+
+	c.mu.Lock()
+	if c.readErr != nil {
+		err := c.readErr
+		c.mu.Unlock()
+		return serve.InvokeReply{}, err
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	payload, err := serve.AppendRequest(make([]byte, 0, 64), id, req)
+	if err == nil {
+		c.wmu.Lock()
+		err = serve.WriteFrame(c.conn, payload)
+		c.wmu.Unlock()
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return serve.InvokeReply{}, err
+	}
+
+	select {
+	case rep := <-ch:
+		return rep, nil
+	case <-c.done:
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		return serve.InvokeReply{}, err
+	}
+}
+
+func (c *binConn) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	return c.conn.Close()
+}

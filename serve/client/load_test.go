@@ -1,0 +1,124 @@
+package client
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"abyss1000/abyss"
+	"abyss1000/serve"
+)
+
+func TestParseArrivalSpec(t *testing.T) {
+	spec, err := ParseArrivalSpec("poisson:5000")
+	if err != nil || spec.Process != Poisson || spec.RateTPS != 5000 {
+		t.Fatalf("poisson spec = %+v, %v", spec, err)
+	}
+	spec, err = ParseArrivalSpec("mmpp:1000:8000:200ms:50ms")
+	if err != nil || spec.Process != MMPP || spec.BurstRateTPS != 8000 ||
+		spec.CalmDwell != 200*time.Millisecond || spec.BurstDwell != 50*time.Millisecond {
+		t.Fatalf("mmpp spec = %+v, %v", spec, err)
+	}
+	for _, bad := range []string{"", "uniform:5", "poisson", "poisson:x", "poisson:-3", "mmpp:1:2:3", "mmpp:0:8:1s:1s"} {
+		if _, err := ParseArrivalSpec(bad); err == nil {
+			t.Fatalf("ParseArrivalSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestArrivalGenDeterminism(t *testing.T) {
+	spec := ArrivalSpec{Process: MMPP, RateTPS: 1000, BurstRateTPS: 8000, CalmDwell: 10 * time.Millisecond, BurstDwell: 5 * time.Millisecond}
+	a := newArrivalGen(spec, 1, 4, 42)
+	b := newArrivalGen(spec, 1, 4, 42)
+	last := time.Duration(-1)
+	for i := 0; i < 1000; i++ {
+		x, y := a.take(), b.take()
+		if x != y {
+			t.Fatalf("arrival %d diverged: %v vs %v", i, x, y)
+		}
+		if x < last {
+			t.Fatalf("arrival %d moved backwards: %v after %v", i, x, last)
+		}
+		last = x
+	}
+}
+
+func TestLoadRunLedger(t *testing.T) {
+	srv, err := serve.New(serve.Config{
+		Scheme:   "NO_WAIT",
+		Workload: "ycsb",
+		Cores:    2,
+		Seed:     11,
+		Session:  abyss.ServeConfig{QueueDepth: 256},
+		Window:   64,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start("", "127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	rep, err := Run(LoadConfig{
+		Addr:     srv.TCPAddr(),
+		Proto:    "binary",
+		Conns:    2,
+		Window:   32,
+		Arrival:  ArrivalSpec{Process: Poisson, RateTPS: 2000},
+		Duration: 300 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Offered == 0 || rep.Committed == 0 {
+		t.Fatalf("no traffic: %+v", rep)
+	}
+	// The client ledger closes.
+	accounted := rep.Committed + rep.UserAborts + rep.Deadlined + rep.ShedServer +
+		rep.Rejected + rep.Closed + rep.Errors
+	if rep.Sent != accounted {
+		t.Fatalf("sent = %d but %d accounted: %+v", rep.Sent, accounted, rep)
+	}
+	if rep.Offered != rep.Sent+rep.ShedClient {
+		t.Fatalf("offered = %d, sent+shed_client = %d", rep.Offered, rep.Sent+rep.ShedClient)
+	}
+	if rep.Wire.Count() != rep.Committed+rep.UserAborts {
+		t.Fatalf("wire histogram count = %d, want %d", rep.Wire.Count(), rep.Committed+rep.UserAborts)
+	}
+	// And it agrees with the server's: every sent request is in the
+	// engine's offered count (queue sheds and window sheds included).
+	res, err := srv.Shutdown()
+	if err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if res.Offered != rep.Sent {
+		t.Fatalf("server Offered = %d, client sent %d", res.Offered, rep.Sent)
+	}
+	if res.Commits != rep.Committed+rep.UserAborts || res.Shed != rep.ShedServer || res.Deadlined != rep.Deadlined {
+		t.Fatalf("server result %d/%d/%d vs client %d/%d/%d",
+			res.Commits, res.Shed, res.Deadlined,
+			rep.Committed+rep.UserAborts, rep.ShedServer, rep.Deadlined)
+	}
+	// Summary carries the stable keys scripts grep for.
+	sum := rep.Summary()
+	for _, key := range []string{"offered=", "sent=", "committed=", "deadlined=", "shed_server=", "shed_client=", "goodput_tps=", "wire_p50_us=", "wire_p99_us="} {
+		if !strings.Contains(sum, key) {
+			t.Fatalf("Summary missing %q: %s", key, sum)
+		}
+	}
+}
+
+func TestLoadRunValidation(t *testing.T) {
+	bad := []LoadConfig{
+		{},
+		{Addr: "x", Proto: "udp", Conns: 1, Duration: time.Second, Arrival: ArrivalSpec{Process: Poisson, RateTPS: 1}},
+		{Addr: "x", Proto: "http", Conns: 0, Duration: time.Second, Arrival: ArrivalSpec{Process: Poisson, RateTPS: 1}},
+		{Addr: "x", Proto: "http", Conns: 1, Duration: 0, Arrival: ArrivalSpec{Process: Poisson, RateTPS: 1}},
+		{Addr: "x", Proto: "http", Conns: 1, Duration: time.Second, Arrival: ArrivalSpec{Process: Poisson}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); err == nil {
+			t.Fatalf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
