@@ -31,6 +31,18 @@
 // access path is steady-state allocation-free regardless of which scheme
 // is plugged in.
 //
+// Beyond point accesses, CreateOrderedIndex builds a latched B+tree
+// secondary index whose TxnCtx.RangeScan returns the entries in [lo, hi]
+// in key order, and TxnCtx.InsertRowOrdered stages a row into a hash
+// index and an ordered index atomically at commit. CompositeKey packs
+// multi-column keys. The abyss1000/query package layers composable
+// iterator-model operators (scan, index range, filter, project, join,
+// group, order, limit) on top of exactly this surface; the full
+// five-transaction TPC-C mix (WorkloadParams.Mix = "full") and the
+// abyss1000/workloads/tatp benchmark are built from it. Range scans are
+// latch-consistent but not phantom-protected: no scheme implements
+// next-key locking.
+//
 // Observability is built into every run. Result carries a commit-latency
 // Histogram (P50/P95/P99/Max) and per-transaction-type TxnStats (names
 // flow from TxnSpec registration; workloads can also implement TxnTyper

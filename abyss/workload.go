@@ -28,13 +28,20 @@ type WorkloadParams struct {
 	MPFraction  float64 `json:"mp_fraction,omitempty"`
 	MPParts     int     `json:"mp_parts,omitempty"`
 
-	// TPC-C knobs (§5.6).
+	// TPC-C knobs (§5.6). Mix selects the transaction mix: "paper" is
+	// the paper's Payment+NewOrder pair, "full" the five-transaction
+	// spec mix (adds OrderStatus, Delivery and StockLevel, backed by
+	// ordered secondary indexes).
 	Warehouses       int     `json:"warehouses,omitempty"`
 	PaymentPct       float64 `json:"payment_pct,omitempty"`
 	RemotePaymentPct float64 `json:"remote_payment_pct,omitempty"`
 	RemoteItemPct    float64 `json:"remote_item_pct,omitempty"`
 	UserAbortPct     float64 `json:"user_abort_pct,omitempty"`
 	InsertsPerWorker int     `json:"inserts_per_worker,omitempty"`
+	Mix              string  `json:"mix,omitempty"`
+
+	// TATP knobs (abyss1000/workloads/tatp).
+	Subscribers int `json:"subscribers,omitempty"`
 
 	// SmallBank knobs (abyss1000/workloads/smallbank).
 	Accounts    int     `json:"accounts,omitempty"`
@@ -73,7 +80,7 @@ func init() {
 	})
 	MustRegisterWorkload(WorkloadInfo{
 		Name:     "tpcc",
-		Desc:     "TPC-C: Payment + NewOrder on the warehouse schema (§3.3)",
+		Desc:     "TPC-C: Payment + NewOrder (paper mix, §3.3) or the full five-transaction mix (-mix full)",
 		Defaults: tpccDefaults,
 		Build:    buildTPCC,
 	})
@@ -224,6 +231,7 @@ func tpccDefaults() WorkloadParams {
 		RemoteItemPct:    c.RemoteItemPct,
 		UserAbortPct:     c.UserAbortPct,
 		InsertsPerWorker: c.InsertsPerWorker,
+		Mix:              c.Mix,
 	}
 }
 
@@ -247,7 +255,21 @@ func buildTPCC(db *DB, p WorkloadParams) (Workload, error) {
 	if p.InsertsPerWorker <= 0 {
 		return nil, fmt.Errorf("abyss: tpcc InsertsPerWorker must be positive, got %d", p.InsertsPerWorker)
 	}
+	mix := p.Mix
+	if mix == "" {
+		mix = tpcc.MixPaper
+	}
+	valid := false
+	for _, m := range tpcc.Mixes() {
+		if mix == m {
+			valid = true
+		}
+	}
+	if !valid {
+		return nil, fmt.Errorf("abyss: tpcc Mix must be one of %s, got %q", joinNames(tpcc.Mixes()), p.Mix)
+	}
 	cfg := tpcc.DefaultConfig(p.Warehouses)
+	cfg.Mix = mix
 	cfg.PaymentPct = p.PaymentPct
 	cfg.RemotePaymentPct = p.RemotePaymentPct
 	cfg.RemoteItemPct = p.RemoteItemPct

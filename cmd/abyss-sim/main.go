@@ -27,9 +27,11 @@ import (
 	"abyss1000/abyss"
 	"abyss1000/cmd/internal/cli"
 
-	// Register the chaos fuzz workload and the SmallBank extension.
+	// Register the chaos fuzz workload and the SmallBank and TATP
+	// extensions.
 	_ "abyss1000/workloads/chaos"
 	_ "abyss1000/workloads/smallbank"
+	_ "abyss1000/workloads/tatp"
 )
 
 func main() {
@@ -53,6 +55,9 @@ func main() {
 		// TPC-C knobs.
 		warehouses = flag.Int("warehouses", 0, "TPC-C warehouses")
 		payPct     = flag.Float64("paypct", -1, "fraction of Payment txns, in [0, 1]")
+		mixName    = flag.String("mix", "", "TPC-C transaction mix: paper (Payment+NewOrder) or full (all five types)")
+
+		subscribers = flag.Int("subscribers", 0, "TATP subscriber count")
 
 		// SmallBank knobs.
 		accounts = flag.Int("accounts", 0, "SmallBank customer count")
@@ -174,6 +179,14 @@ func main() {
 	}
 	if *warehouses > 0 {
 		params.Warehouses = *warehouses
+	}
+	if *mixName != "" {
+		// Validated by the tpcc builder, which lists the valid mixes on
+		// an unknown value.
+		params.Mix = *mixName
+	}
+	if *subscribers > 0 {
+		params.Subscribers = *subscribers
 	}
 	if *accounts > 0 {
 		params.Accounts = *accounts

@@ -123,3 +123,51 @@ func TestPlainRunSIGINT(t *testing.T) {
 		t.Fatalf("missing partial result line:\n%s", out.String())
 	}
 }
+
+// TestFullMixAndTATPCLI pins the new workload surface from the shell:
+// -mix full runs the five-transaction TPC-C mix with every type
+// committing, -workload tatp resolves through the registry, and an
+// unknown -mix fails fast listing the valid choices.
+func TestFullMixAndTATPCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary several times")
+	}
+	bin := buildSim(t)
+
+	run := func(args ...string) string {
+		out, err := exec.Command(bin, args...).CombinedOutput()
+		if err != nil {
+			t.Fatalf("abyss-sim %s: %v\n%s", strings.Join(args, " "), err, out)
+		}
+		return string(out)
+	}
+
+	full := run("-workload", "tpcc", "-mix", "full", "-scheme", "NO_WAIT",
+		"-cores", "4", "-warmup", "50000", "-measure", "600000", "-hist")
+	for _, txn := range []string{"Payment", "NewOrder", "OrderStatus", "Delivery", "StockLevel"} {
+		if !strings.Contains(full, txn) {
+			t.Errorf("full-mix -hist output missing %s:\n%s", txn, full)
+		}
+	}
+
+	tatp := run("-workload", "tatp", "-scheme", "MVCC", "-cores", "4",
+		"-subscribers", "2048", "-warmup", "50000", "-measure", "600000", "-hist")
+	for _, txn := range []string{"GetSubscriberData", "UpdateLocation", "InsertCallForwarding"} {
+		if !strings.Contains(tatp, txn) {
+			t.Errorf("tatp -hist output missing %s:\n%s", txn, tatp)
+		}
+	}
+
+	out, err := exec.Command(bin, "-workload", "tpcc", "-mix", "bogus",
+		"-cores", "2", "-measure", "100000").CombinedOutput()
+	if err == nil {
+		t.Fatalf("-mix bogus should fail, got:\n%s", out)
+	}
+	if !strings.Contains(string(out), "paper") || !strings.Contains(string(out), "full") {
+		t.Fatalf("unknown-mix error should list the valid mixes, got:\n%s", out)
+	}
+
+	if list := run("-list"); !strings.Contains(list, "tatp") {
+		t.Fatalf("-list does not mention tatp:\n%s", list)
+	}
+}

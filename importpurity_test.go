@@ -11,8 +11,9 @@ import (
 )
 
 // TestPublicSurfaceImportPurity enforces the embedding contract: the
-// commands, the examples, the public workloads and the serve front door
-// are clients of the public abyss (and bench) packages only. If one of
+// commands, the examples, the public workloads, the query operator layer
+// and the serve front door are clients of the public abyss (and bench)
+// packages only. If one of
 // them imports abyss1000/internal/..., the public API has a hole — fix
 // the API, not the import list. (The bench harness itself lives outside
 // this rule: it is part of the engine distribution and drives engine
@@ -20,7 +21,7 @@ import (
 // ablation allocators. cmd/internal is the commands' own shared helper
 // space, not the engine's internal tree, so it stays under the rule.)
 func TestPublicSurfaceImportPurity(t *testing.T) {
-	clientDirs := []string{"cmd", "examples", "workloads", "serve"}
+	clientDirs := []string{"cmd", "examples", "workloads", "serve", "query"}
 	fset := token.NewFileSet()
 	for _, dir := range clientDirs {
 		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
@@ -40,7 +41,7 @@ func TestPublicSurfaceImportPurity(t *testing.T) {
 					return err
 				}
 				if strings.HasPrefix(p, "abyss1000/internal/") || p == "abyss1000/internal" {
-					t.Errorf("%s imports %s: cmd/, examples/ and workloads/ must use only the public abyss API", path, p)
+					t.Errorf("%s imports %s: cmd/, examples/, workloads/ and query/ must use only the public abyss API", path, p)
 				}
 			}
 			return nil

@@ -81,18 +81,17 @@ func Checkpoint(db *DB, scheme Scheme) error {
 		buf = wal.AppendCkptAlloc(buf[:0], &alloc)
 		w.Append(buf)
 	}
-	for ord, h := range db.indexOrder {
-		loaded := h.Table().Loaded()
+	emitIndex := func(ord int, loaded int, ordered bool, ranger func(func(key uint64, slot int))) {
 		var entries []wal.CkptIndexEntry
 		flush := func() {
 			if len(entries) == 0 {
 				return
 			}
-			buf = wal.AppendCkptIndex(buf[:0], &wal.CkptIndex{Index: ord, Entries: entries})
+			buf = wal.AppendCkptIndex(buf[:0], &wal.CkptIndex{Index: ord, Ordered: ordered, Entries: entries})
 			w.Append(buf)
 			entries = entries[:0]
 		}
-		h.Range(func(key uint64, slot int) {
+		ranger(func(key uint64, slot int) {
 			// Setup-time entries are rebuilt by workload setup before
 			// recovery; only runtime inserts (slots past the loaded
 			// prefix) need to be in the log.
@@ -104,6 +103,12 @@ func Checkpoint(db *DB, scheme Scheme) error {
 			}
 		})
 		flush()
+	}
+	for ord, h := range db.indexOrder {
+		emitIndex(ord, h.Table().Loaded(), false, h.Range)
+	}
+	for ord, o := range db.ordOrder {
+		emitIndex(ord, o.Table().Loaded(), true, o.Range)
 	}
 	w.Append(wal.AppendCkptEnd(nil, id))
 	return w.Flush()

@@ -43,6 +43,12 @@ type DB struct {
 	indexOrder []*index.Hash
 	indexOrd   map[*index.Hash]int
 
+	// Ordered secondary indexes keep their own ordinal space, mirroring
+	// the hash registry (commit records carry both ordinals).
+	ordIndexes map[string]*index.Ordered
+	ordOrder   []*index.Ordered
+	ordOrd     map[*index.Ordered]int
+
 	// NParts is the number of H-STORE partitions (always the worker
 	// count, as in the paper's experiments).
 	NParts int
@@ -72,11 +78,13 @@ type DB struct {
 // NewDB creates an empty database on r.
 func NewDB(r rt.Runtime) *DB {
 	return &DB{
-		RT:       r,
-		Catalog:  storage.NewCatalog(),
-		indexes:  make(map[string]*index.Hash),
-		indexOrd: make(map[*index.Hash]int),
-		NParts:   r.NumProcs(),
+		RT:         r,
+		Catalog:    storage.NewCatalog(),
+		indexes:    make(map[string]*index.Hash),
+		indexOrd:   make(map[*index.Hash]int),
+		ordIndexes: make(map[string]*index.Ordered),
+		ordOrd:     make(map[*index.Ordered]int),
+		NParts:     r.NumProcs(),
 	}
 }
 
@@ -100,6 +108,30 @@ func (db *DB) Index(name string) *index.Hash {
 		panic("core: no index " + name)
 	}
 	return h
+}
+
+// AddOrderedIndex builds and registers an ordered secondary index named
+// name over t. Like hash indexes, registration order is the ordinal WAL
+// records and checkpoints use, so deterministic setup must register
+// ordered indexes in a fixed order.
+func (db *DB) AddOrderedIndex(name string, t *storage.Table) *index.Ordered {
+	o := index.NewOrdered(db.RT, t)
+	db.ordIndexes[name] = o
+	db.ordOrd[o] = len(db.ordOrder)
+	db.ordOrder = append(db.ordOrder, o)
+	return o
+}
+
+// OrderedIndexes returns the registered ordered indexes in ordinal order.
+func (db *DB) OrderedIndexes() []*index.Ordered { return db.ordOrder }
+
+// OrderedIndex returns the named ordered index, or panics.
+func (db *DB) OrderedIndex(name string) *index.Ordered {
+	o, ok := db.ordIndexes[name]
+	if !ok {
+		panic("core: no ordered index " + name)
+	}
+	return o
 }
 
 // Txn is one transaction: program logic intermixed with query invocations

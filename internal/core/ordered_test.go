@@ -1,0 +1,160 @@
+package core_test
+
+import (
+	"testing"
+
+	"abyss1000/internal/cc/twopl"
+	"abyss1000/internal/cctest"
+	"abyss1000/internal/core"
+	"abyss1000/internal/index"
+	"abyss1000/internal/rt"
+	"abyss1000/internal/sim"
+	"abyss1000/internal/storage"
+	"abyss1000/internal/wal"
+)
+
+// orderedFixture is the counter fixture plus an empty ordered secondary
+// index over the counter table.
+func orderedFixture(rows int) (*sim.Engine, *core.DB, *storage.Table, *index.Ordered) {
+	eng := sim.New(2, 1)
+	db, tab := cctest.NewCounterDB(eng, rows)
+	ord := db.AddOrderedIndex("C_ORD", tab)
+	return eng, db, tab, ord
+}
+
+// TestOrderedInsertDeferredUntilCommit: an InsertRowOrdered entry obeys
+// the deferred-insert protocol — invisible to scans inside the inserting
+// transaction, published to both indexes at commit, dropped on abort.
+func TestOrderedInsertDeferredUntilCommit(t *testing.T) {
+	eng, db, tab, ord := orderedFixture(64)
+	scheme := twopl.New(twopl.NoWait, twopl.Options{})
+	scheme.Setup(db)
+	idx := db.Index("C_PK")
+	eng.Run(func(p rt.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		w := core.NewWorker(p, db, scheme)
+		err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			row := tx.InsertRowOrdered(idx, 1000, ord, 500)
+			tab.Schema.PutU64(row, 0, 1000)
+			tab.Schema.PutU64(row, 1, 77)
+			if got := tx.RangeScan(ord, 0, 1<<62); len(got) != 0 {
+				t.Errorf("staged ordered entry visible before commit: %v", got)
+			}
+			return nil
+		}})
+		if err != nil {
+			t.Fatalf("insert txn: %v", err)
+		}
+		// A second insert aborts: neither index may retain it.
+		_ = w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			row := tx.InsertRowOrdered(idx, 1001, ord, 501)
+			tab.Schema.PutU64(row, 0, 1001)
+			return core.ErrUserAbort
+		}})
+		err = w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+			got := tx.RangeScan(ord, 0, 1<<62)
+			if len(got) != 1 || got[0].Key != 500 {
+				t.Errorf("scan after commit = %v, want one entry with key 500", got)
+				return nil
+			}
+			if slot, ok := tx.OrderedLookup(ord, 500); !ok || slot != int(got[0].Slot) {
+				t.Errorf("OrderedLookup(500) = %d, %v", slot, ok)
+			}
+			row, err := tx.Read(tab, int(got[0].Slot))
+			if err != nil {
+				return err
+			}
+			if tab.Schema.GetU64(row, 1) != 77 {
+				t.Error("ordered scan led to wrong row image")
+			}
+			return nil
+		}})
+		if err != nil {
+			t.Fatalf("scan txn: %v", err)
+		}
+	})
+}
+
+// TestOrderedInsertRecovery round-trips ordered-index inserts through the
+// WAL: commit records carry the ordered ordinal and key, replay rebuilds
+// the entries, replaying twice changes nothing, and a checkpoint carries
+// the entries forward on its own.
+func TestOrderedInsertRecovery(t *testing.T) {
+	eng, db, tab, ord := orderedFixture(64)
+	sink := wal.NewMemSink()
+	db.Wal = wal.NewWriter(sink, wal.Config{})
+	scheme := twopl.New(twopl.NoWait, twopl.Options{})
+	scheme.Setup(db)
+	idx := db.Index("C_PK")
+	eng.Run(func(p rt.Proc) {
+		if p.ID() != 0 {
+			return
+		}
+		w := core.NewWorker(p, db, scheme)
+		for i := 0; i < 8; i++ {
+			key := uint64(2000 + i)
+			okey := uint64(900 - i) // descending: replay must re-sort
+			err := w.ExecOnce(&cctest.Txn{Body: func(tx *core.TxnCtx) error {
+				row := tx.InsertRowOrdered(idx, key, ord, okey)
+				tab.Schema.PutU64(row, 0, key)
+				tab.Schema.PutU64(row, 1, okey)
+				return nil
+			}})
+			if err != nil {
+				t.Fatalf("insert %d: %v", i, err)
+			}
+		}
+	})
+	if err := db.Wal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	live := core.DumpState(db, scheme)
+
+	recover := func(stream []byte) (*core.DB, *index.Ordered, core.RecoverInfo) {
+		_, db2, _, ord2 := orderedFixture(64)
+		info, err := core.Recover(db2, stream)
+		if err != nil {
+			t.Fatalf("recover: %v", err)
+		}
+		return db2, ord2, info
+	}
+
+	db2, ord2, info := recover(sink.Bytes())
+	if info.Inserts != 8 {
+		t.Fatalf("replayed %d inserts, want 8", info.Inserts)
+	}
+	if ord2.Len() != 8 {
+		t.Fatalf("recovered ordered index has %d entries, want 8", ord2.Len())
+	}
+	if got := core.DumpState(db2, nil); got != live {
+		t.Fatalf("recovered state diverges from live state:\nlive:\n%s\nrecovered:\n%s", live, got)
+	}
+	// Idempotence: a second replay over the recovered state is a no-op.
+	if _, err := core.Recover(db2, sink.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if got := core.DumpState(db2, nil); got != live {
+		t.Fatal("second replay changed the recovered state")
+	}
+
+	// Checkpoint the live DB: recovery now starts from the snapshot, whose
+	// ordered-index records alone must rebuild the entries.
+	if err := core.Checkpoint(db, scheme); err != nil {
+		t.Fatal(err)
+	}
+	db3, ord3, info := recover(sink.Bytes())
+	if info.Checkpoint == 0 {
+		t.Fatalf("recovery ignored the checkpoint: %+v", info)
+	}
+	if info.Commits != 0 {
+		t.Fatalf("post-checkpoint replay should be empty, applied %d commits", info.Commits)
+	}
+	if ord3.Len() != 8 {
+		t.Fatalf("checkpoint-only recovery has %d ordered entries, want 8", ord3.Len())
+	}
+	if got := core.DumpState(db3, nil); got != live {
+		t.Fatal("checkpoint-only recovery diverges from live state")
+	}
+}

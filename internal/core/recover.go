@@ -133,6 +133,21 @@ func applyCkptRecord(db *DB, tables []*storage.Table, r *wal.Record) error {
 				h.LoadInsert(e.Key, e.Slot)
 			}
 		}
+	case wal.TypeCkptOIndex:
+		x := r.Index
+		if x.Index < 0 || x.Index >= len(db.ordOrder) {
+			return fmt.Errorf("core: recover: checkpoint entries for unknown ordered index %d", x.Index)
+		}
+		o := db.ordOrder[x.Index]
+		tcap := o.Table().Capacity()
+		for _, e := range x.Entries {
+			if e.Slot < 0 || e.Slot >= tcap {
+				return fmt.Errorf("core: recover: checkpoint ordered index %d maps key %d to slot %d outside table capacity %d", x.Index, e.Key, e.Slot, tcap)
+			}
+			if s, ok := o.LoadLookup(e.Key); !ok || s != e.Slot {
+				o.LoadInsert(e.Key, e.Slot)
+			}
+		}
 	}
 	return nil
 }
@@ -175,11 +190,20 @@ func applyCommit(db *DB, tables []*storage.Table, floors [][]uint64, c *wal.Comm
 		if in.Table != t.ID || len(in.Image) != t.Schema.RowSize() {
 			return fmt.Errorf("core: recover: insert record (table %d, %d bytes) does not match index %d over table %d", in.Table, len(in.Image), in.Index, t.ID)
 		}
+		if in.OIndex < 0 || in.OIndex > len(db.ordOrder) {
+			return fmt.Errorf("core: recover: insert names unknown ordered index %d", in.OIndex-1)
+		}
 		if slot, ok := h.LoadLookup(in.Key); ok {
 			// Replaying over an already-recovered (or checkpointed)
 			// state: the key exists, so overwrite in place — this is
 			// what makes recovery idempotent.
 			copy(t.Row(slot), in.Image)
+			if in.OIndex > 0 {
+				o := db.ordOrder[in.OIndex-1]
+				if s, ok := o.LoadLookup(in.OKey); !ok || s != slot {
+					o.LoadInsert(in.OKey, slot)
+				}
+			}
 		} else {
 			slot := t.AllocSlot(c.Worker)
 			if slot < 0 {
@@ -187,6 +211,9 @@ func applyCommit(db *DB, tables []*storage.Table, floors [][]uint64, c *wal.Comm
 			}
 			copy(t.Row(slot), in.Image)
 			h.LoadInsert(in.Key, slot)
+			if in.OIndex > 0 {
+				db.ordOrder[in.OIndex-1].LoadInsert(in.OKey, slot)
+			}
 		}
 		ri.Inserts++
 	}

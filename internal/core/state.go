@@ -55,10 +55,9 @@ func DumpState(db *DB, scheme Scheme) string {
 			}
 		}
 	}
-	for ord, h := range db.indexOrder {
-		loaded := h.Table().Loaded()
+	dumpIndex := func(label string, ord, loaded int, ranger func(func(key uint64, slot int))) {
 		var entries []struct{ key, slot uint64 }
-		h.Range(func(key uint64, slot int) {
+		ranger(func(key uint64, slot int) {
 			if slot >= loaded {
 				entries = append(entries, struct{ key, slot uint64 }{key, uint64(slot)})
 			}
@@ -72,10 +71,16 @@ func DumpState(db *DB, scheme Scheme) string {
 			}
 			return entries[i].slot < entries[j].slot
 		})
-		fmt.Fprintf(&b, "index %d\n", ord)
+		fmt.Fprintf(&b, "%s %d\n", label, ord)
 		for _, e := range entries {
 			fmt.Fprintf(&b, "  %d -> %d\n", e.key, e.slot)
 		}
+	}
+	for ord, h := range db.indexOrder {
+		dumpIndex("index", ord, h.Table().Loaded(), h.Range)
+	}
+	for ord, o := range db.ordOrder {
+		dumpIndex("oindex", ord, o.Table().Loaded(), o.Range)
 	}
 	return b.String()
 }

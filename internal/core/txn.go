@@ -66,6 +66,11 @@ type insertRec struct {
 	key  uint64
 	buf  []byte
 	part int
+
+	// oidx, when non-nil, is an ordered secondary index the row is also
+	// published into (under okey) at commit.
+	oidx *index.Ordered
+	okey uint64
 }
 
 // walWrite is one captured write target for the commit record: buf is the
@@ -125,6 +130,12 @@ type TxnCtx struct {
 	// record while DB.Cap is attached (see capture.go).
 	capReads  []capAccess
 	capWrites []capWrite
+
+	// scanBuf backs RangeScan results for the transaction's lifetime: each
+	// scan appends its entries and returns its own window, so nested scans
+	// (index-nested-loop joins) never clobber each other. Reset per txn,
+	// steady-state allocation-free once grown.
+	scanBuf []index.Entry
 }
 
 func (tx *TxnCtx) reset() {
@@ -135,6 +146,7 @@ func (tx *TxnCtx) reset() {
 	tx.logged = false
 	tx.capReads = tx.capReads[:0]
 	tx.capWrites = tx.capWrites[:0]
+	tx.scanBuf = tx.scanBuf[:0]
 	tx.Alloc.Reset()
 }
 
@@ -142,6 +154,37 @@ func (tx *TxnCtx) reset() {
 // to the INDEX component.
 func (tx *TxnCtx) Lookup(idx *index.Hash, key uint64) (int, bool) {
 	return idx.Lookup(tx.P, key)
+}
+
+// OrderedLookup probes the ordered index for the first entry with key.
+func (tx *TxnCtx) OrderedLookup(o *index.Ordered, key uint64) (int, bool) {
+	return o.Lookup(tx.P, key)
+}
+
+// RangeScan collects every ordered-index entry with lo <= key <= hi, in
+// ascending key order, billing the INDEX component for the traversal. The
+// returned slice is valid for the rest of the transaction (nested scans
+// get separate windows). The scan yields key→slot pairs only; reading the
+// rows afterwards through Read pays the concurrency-control protocol per
+// tuple and is what the serializability capture sees. The pair set itself
+// is latch-consistent, not serializable: an insert committed after the
+// scan's latch window is invisible, so range predicates can observe
+// phantoms under every scheme (see workloads/chaos).
+func (tx *TxnCtx) RangeScan(o *index.Ordered, lo, hi uint64) []index.Entry {
+	return tx.rangeScan(o, lo, hi, -1)
+}
+
+// RangeScanLimit is RangeScan capped at max entries (the lowest-keyed
+// matches); max < 0 means unlimited.
+func (tx *TxnCtx) RangeScanLimit(o *index.Ordered, lo, hi uint64, max int) []index.Entry {
+	return tx.rangeScan(o, lo, hi, max)
+}
+
+func (tx *TxnCtx) rangeScan(o *index.Ordered, lo, hi uint64, max int) []index.Entry {
+	start := len(tx.scanBuf)
+	tx.scanBuf = o.RangeScanLimit(tx.P, lo, hi, max, tx.scanBuf)
+	end := len(tx.scanBuf)
+	return tx.scanBuf[start:end:end]
 }
 
 // Read returns a readable row image for (t, slot) via the scheme.
@@ -231,12 +274,17 @@ func (tx *TxnCtx) LogCommit() {
 	c.Inserts = c.Inserts[:0]
 	for i := range tx.inserts {
 		in := &tx.inserts[i]
-		c.Inserts = append(c.Inserts, wal.Insert{
+		rec := wal.Insert{
 			Table: in.idx.Table().ID,
 			Index: tx.DB.indexOrd[in.idx],
 			Key:   in.key,
 			Image: in.buf,
-		})
+		}
+		if in.oidx != nil {
+			rec.OIndex = tx.DB.ordOrd[in.oidx] + 1
+			rec.OKey = in.okey
+		}
+		c.Inserts = append(c.Inserts, rec)
 	}
 	w.walBuf = wal.AppendCommit(w.walBuf[:0], c)
 	lsn, sealed := lw.Append(w.walBuf)
@@ -256,8 +304,25 @@ func (tx *TxnCtx) InsertRow(idx *index.Hash, key uint64) []byte {
 	tx.tuples++
 	t := idx.Table()
 	buf := tx.Alloc.Alloc(tx.P, stats.Useful, t.Schema.RowSize())
+	// The arena recycles memory across transactions; a fresh row must not
+	// inherit a predecessor's bytes in columns the caller leaves unset.
+	// The copy cost billed below covers the initialization.
+	clear(buf)
 	tx.P.Tick(stats.Useful, costs.UsefulPerRow+costs.CopyCost(uint64(len(buf))))
 	tx.inserts = append(tx.inserts, insertRec{idx: idx, key: key, buf: buf})
+	return buf
+}
+
+// InsertRowOrdered is InsertRow for a row that is additionally published
+// into the ordered secondary index oidx under okey at commit (after the
+// hash entry, same deferred-insert protocol).
+func (tx *TxnCtx) InsertRowOrdered(idx *index.Hash, key uint64, oidx *index.Ordered, okey uint64) []byte {
+	tx.tuples++
+	t := idx.Table()
+	buf := tx.Alloc.Alloc(tx.P, stats.Useful, t.Schema.RowSize())
+	clear(buf)
+	tx.P.Tick(stats.Useful, costs.UsefulPerRow+costs.CopyCost(uint64(len(buf))))
+	tx.inserts = append(tx.inserts, insertRec{idx: idx, key: key, buf: buf, oidx: oidx, okey: okey})
 	return buf
 }
 
@@ -277,5 +342,8 @@ func (tx *TxnCtx) applyInserts() {
 			c.captureInsert(tx, t, slot, rec.buf)
 		}
 		rec.idx.Insert(tx.P, rec.key, slot)
+		if rec.oidx != nil {
+			rec.oidx.Insert(tx.P, rec.okey, slot)
+		}
 	}
 }

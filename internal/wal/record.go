@@ -47,11 +47,15 @@ const (
 
 	// TypeCkptEnd closes the checkpoint with the matching ID.
 	TypeCkptEnd byte = 7
+
+	// TypeCkptOIndex carries runtime-inserted ordered-index entries
+	// (key → slot) of one ordered index, mirroring TypeCkptIndex.
+	TypeCkptOIndex byte = 8
 )
 
 // Magic is the 8-byte stream header identifying a WAL and its format
 // version.
-var Magic = [8]byte{'A', 'B', 'Y', 'W', 'A', 'L', '0', '1'}
+var Magic = [8]byte{'A', 'B', 'Y', 'W', 'A', 'L', '0', '2'}
 
 // Frame layout: u32 body length | body (type byte + payload) | u32 CRC32
 // (IEEE) over the body. A record is complete only when all length+8 bytes
@@ -83,6 +87,12 @@ type Insert struct {
 	Index int    // index ordinal (registration order in the DB)
 	Key   uint64 // index key
 	Image []byte // full row image
+
+	// OIndex is 1 + the ordered-index ordinal when the insert also
+	// publishes an ordered-index entry under OKey; 0 (the zero value)
+	// means the insert targets the hash index only.
+	OIndex int
+	OKey   uint64
 }
 
 // Commit is one committed transaction's log record.
@@ -128,9 +138,12 @@ type CkptIndexEntry struct {
 	Slot int
 }
 
-// CkptIndex is a chunk of one index's runtime-inserted entries.
+// CkptIndex is a chunk of one index's runtime-inserted entries. With
+// Ordered set it describes an ordered index (TypeCkptOIndex) and Index is
+// the ordered-index ordinal.
 type CkptIndex struct {
 	Index   int
+	Ordered bool
 	Entries []CkptIndexEntry
 }
 
@@ -192,6 +205,8 @@ func encodeCommitBody(body []byte, c *Commit) []byte {
 		body = appendU32(body, uint32(in.Table))
 		body = appendU32(body, uint32(in.Index))
 		body = appendU64(body, in.Key)
+		body = appendU32(body, uint32(in.OIndex))
+		body = appendU64(body, in.OKey)
 		body = appendU32(body, uint32(len(in.Image)))
 		body = append(body, in.Image...)
 	}
@@ -235,9 +250,14 @@ func AppendCkptAlloc(dst []byte, a *CkptAlloc) []byte {
 	return appendFrame(dst, body)
 }
 
-// AppendCkptIndex encodes an index-entry chunk.
+// AppendCkptIndex encodes an index-entry chunk (hash or ordered, by
+// x.Ordered).
 func AppendCkptIndex(dst []byte, x *CkptIndex) []byte {
-	body := []byte{TypeCkptIndex}
+	typ := TypeCkptIndex
+	if x.Ordered {
+		typ = TypeCkptOIndex
+	}
+	body := []byte{typ}
 	body = appendU32(body, uint32(x.Index))
 	body = appendU32(body, uint32(len(x.Entries)))
 	for _, e := range x.Entries {
@@ -335,6 +355,8 @@ func decodeBody(body []byte, rec *Record) bool {
 			in.Table = int(r.u32())
 			in.Index = int(r.u32())
 			in.Key = r.u64()
+			in.OIndex = int(r.u32())
+			in.OKey = r.u64()
 			in.Image = r.bytes(int(r.u32()))
 			if r.bad {
 				return false
@@ -388,8 +410,9 @@ func decodeBody(body []byte, rec *Record) bool {
 		rec.Alloc = a
 		return true
 
-	case TypeCkptIndex:
+	case TypeCkptIndex, TypeCkptOIndex:
 		x := &CkptIndex{}
+		x.Ordered = rec.Type == TypeCkptOIndex
 		x.Index = int(r.u32())
 		n := r.u32()
 		if r.bad || n > uint32(len(body)) {

@@ -16,6 +16,7 @@ func sampleStream() ([]byte, []Commit) {
 		}},
 		{Worker: 0, Ver: 42, Inserts: []Insert{
 			{Table: 2, Index: 1, Key: 0xdeadbeef, Image: []byte("inserted row")},
+			{Table: 2, Index: 1, Key: 7, OIndex: 2, OKey: 0xfeedface, Image: []byte("ordered row")},
 		}},
 		{Worker: 7, Ver: 9, Updates: []Update{{Table: 0, Slot: 0, Image: nil}}},
 	}
@@ -25,6 +26,7 @@ func sampleStream() ([]byte, []Commit) {
 	s = AppendCkptRows(s, &CkptRows{Table: 0, Start: 8, Count: 3, RowSize: 4, Rows: []byte("aaaabbbbcccc")})
 	s = AppendCkptAlloc(s, &CkptAlloc{Table: 0, Next: []int{10, 20, 30}})
 	s = AppendCkptIndex(s, &CkptIndex{Index: 2, Entries: []CkptIndexEntry{{Key: 9, Slot: 4}, {Key: 11, Slot: 5}}})
+	s = AppendCkptIndex(s, &CkptIndex{Index: 0, Ordered: true, Entries: []CkptIndexEntry{{Key: 3, Slot: 6}}})
 	s = AppendCkptEnd(s, 5)
 	for i := range commits {
 		s = AppendCommit(s, &commits[i])
@@ -41,7 +43,7 @@ func TestRoundTrip(t *testing.T) {
 	if info.TornBytes != 0 || info.Complete != int64(len(stream)) {
 		t.Fatalf("clean stream reported torn: %+v", info)
 	}
-	wantTypes := []byte{TypeEpoch, TypeCkptBegin, TypeCkptRows, TypeCkptAlloc, TypeCkptIndex, TypeCkptEnd, TypeCommit, TypeCommit, TypeCommit}
+	wantTypes := []byte{TypeEpoch, TypeCkptBegin, TypeCkptRows, TypeCkptAlloc, TypeCkptIndex, TypeCkptOIndex, TypeCkptEnd, TypeCommit, TypeCommit, TypeCommit}
 	if len(recs) != len(wantTypes) {
 		t.Fatalf("got %d records, want %d", len(recs), len(wantTypes))
 	}
@@ -50,7 +52,7 @@ func TestRoundTrip(t *testing.T) {
 			t.Fatalf("record %d type = %d, want %d", i, r.Type, wantTypes[i])
 		}
 	}
-	if recs[0].ID != 1 || recs[1].ID != 5 || recs[5].ID != 5 {
+	if recs[0].ID != 1 || recs[1].ID != 5 || recs[6].ID != 5 {
 		t.Fatalf("delimiter IDs wrong: %d %d %d", recs[0].ID, recs[1].ID, recs[5].ID)
 	}
 	cr := recs[2].Rows
@@ -63,8 +65,11 @@ func TestRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(recs[4].Index, &CkptIndex{Index: 2, Entries: []CkptIndexEntry{{Key: 9, Slot: 4}, {Key: 11, Slot: 5}}}) {
 		t.Fatalf("ckpt index mismatch: %+v", recs[4].Index)
 	}
+	if !reflect.DeepEqual(recs[5].Index, &CkptIndex{Index: 0, Ordered: true, Entries: []CkptIndexEntry{{Key: 3, Slot: 6}}}) {
+		t.Fatalf("ckpt ordered index mismatch: %+v", recs[5].Index)
+	}
 	for i, want := range commits {
-		got := recs[6+i].Commit
+		got := recs[7+i].Commit
 		if got.Worker != want.Worker || got.Ver != want.Ver {
 			t.Fatalf("commit %d header mismatch: %+v", i, got)
 		}
@@ -79,7 +84,7 @@ func TestRoundTrip(t *testing.T) {
 		}
 		for j := range want.Inserts {
 			g, w := got.Inserts[j], want.Inserts[j]
-			if g.Table != w.Table || g.Index != w.Index || g.Key != w.Key || !bytes.Equal(g.Image, w.Image) {
+			if g.Table != w.Table || g.Index != w.Index || g.Key != w.Key || g.OIndex != w.OIndex || g.OKey != w.OKey || !bytes.Equal(g.Image, w.Image) {
 				t.Fatalf("commit %d insert %d mismatch", i, j)
 			}
 		}

@@ -187,7 +187,13 @@ func (t *newOrderTxn) Run(tx *core.TxnCtx) error {
 		amount := qty * price
 		total += amount
 		olNum := uint64(i) + 1
-		olrow := tx.InsertRow(w.idxOrderLine, orderLineKey(t.wid, t.did, oid, olNum))
+		olKey := orderLineKey(t.wid, t.did, oid, olNum)
+		var olrow []byte
+		if w.full {
+			olrow = tx.InsertRowOrdered(w.idxOrderLine, olKey, w.ordOrderLine, olKey)
+		} else {
+			olrow = tx.InsertRow(w.idxOrderLine, olKey)
+		}
 		olsc.PutU64(olrow, OLOID, oid)
 		olsc.PutU64(olrow, OLDID, t.did)
 		olsc.PutU64(olrow, OLWID, t.wid)
@@ -210,7 +216,13 @@ func (t *newOrderTxn) Run(tx *core.TxnCtx) error {
 		allLocal = 0
 	}
 	nItems := uint64(len(t.items))
-	orow := tx.InsertRow(w.idxOrders, orderKey(t.wid, t.did, oid))
+	oKey := orderKey(t.wid, t.did, oid)
+	var orow []byte
+	if w.full {
+		orow = tx.InsertRowOrdered(w.idxOrders, oKey, w.ordOrdersCust, custOrderKey(t.wid, t.did, t.cid, oid))
+	} else {
+		orow = tx.InsertRow(w.idxOrders, oKey)
+	}
 	osc.PutU64(orow, OID, oid)
 	osc.PutU64(orow, OCID, t.cid)
 	osc.PutU64(orow, ODID, t.did)
@@ -219,7 +231,16 @@ func (t *newOrderTxn) Run(tx *core.TxnCtx) error {
 	osc.PutU64(orow, OOLCnt, nItems)
 	osc.PutU64(orow, OAllLocal, allLocal)
 	nosc := w.neworder.Schema
-	norow := tx.InsertRow(w.idxNewOrder, orderKey(t.wid, t.did, oid))
+	// NEW_ORDER is staged last: its ordered entry is the one Delivery
+	// probes for, and the deferred-insert protocol publishes entries in
+	// stage order — so when a scan finds an order's NEW_ORDER entry, the
+	// order's ORDERS and ORDER_LINE entries are already published.
+	var norow []byte
+	if w.full {
+		norow = tx.InsertRowOrdered(w.idxNewOrder, oKey, w.ordNewOrder, oKey)
+	} else {
+		norow = tx.InsertRow(w.idxNewOrder, oKey)
+	}
 	nosc.PutU64(norow, NOOID, oid)
 	nosc.PutU64(norow, NODID, t.did)
 	nosc.PutU64(norow, NOWID, t.wid)

@@ -38,6 +38,14 @@ const (
 	DPad
 )
 
+// DDelivOID is the delivery cursor DISTRICT carries under the full mix
+// only (districtSchemaFull): the highest order id Delivery has delivered
+// in this district. It replaces the spec's NEW_ORDER deletes — orders at
+// most DDelivOID are delivered, orders above it are pending — so the
+// engine needs no index delete path. It aliases DPad's position in the
+// paper-mix schema; never use it there.
+const DDelivOID = DNextOID + 1
+
 // CUSTOMER columns.
 const (
 	CID = iota
@@ -129,6 +137,15 @@ func districtSchema() *storage.Schema {
 	return storage.NewSchema("DISTRICT",
 		u64("D_ID"), u64("D_W_ID"), u64("D_TAX"), u64("D_YTD"),
 		u64("D_NEXT_O_ID"), pad("D_PAD", 64))
+}
+
+// districtSchemaFull is districtSchema plus the full-mix delivery
+// cursor; the paper mix keeps the original schema so its row size (and
+// the golden simulator signature) is untouched.
+func districtSchemaFull() *storage.Schema {
+	return storage.NewSchema("DISTRICT",
+		u64("D_ID"), u64("D_W_ID"), u64("D_TAX"), u64("D_YTD"),
+		u64("D_NEXT_O_ID"), u64("D_DELIV_O_ID"), pad("D_PAD", 64))
 }
 
 func customerSchema() *storage.Schema {

@@ -48,7 +48,25 @@ type Config struct {
 	// NEW_ORDER and ORDER_LINE (ORDER_LINE gets 15x). Raise it for
 	// long measurement windows.
 	InsertsPerWorker int
+
+	// Mix selects the transaction mix. MixPaper (the default) is the
+	// paper's two-transaction Payment/NewOrder mix drawn per PaymentPct;
+	// MixFull adds Delivery, OrderStatus and StockLevel at the
+	// specification's 45/43/4/4/4 weights, grows DISTRICT by a
+	// delivery-cursor column and builds three ordered secondary indexes
+	// for the range scans those transactions perform. MixPaper builds a
+	// byte-identical database to the pre-full-mix engine.
+	Mix string
 }
+
+// Mix values for Config.Mix.
+const (
+	MixPaper = "paper"
+	MixFull  = "full"
+)
+
+// Mixes lists the valid Config.Mix values.
+func Mixes() []string { return []string{MixPaper, MixFull} }
 
 // DefaultConfig returns spec ratios at laptop scale.
 func DefaultConfig(warehouses int) Config {
@@ -62,6 +80,7 @@ func DefaultConfig(warehouses int) Config {
 		RemoteItemPct:         0.01,
 		UserAbortPct:          0.01,
 		InsertsPerWorker:      4096,
+		Mix:                   MixPaper,
 	}
 }
 
@@ -79,9 +98,19 @@ type Workload struct {
 	idxOrders, idxNewOrder, idxOrderLine   *index.Hash
 	idxHistory                             *index.Hash
 
-	payments  []paymentTxn
-	neworders []newOrderTxn
-	hseq      []uint64 // per-worker history key counter
+	// Full-mix state: the spec's three extra transactions range-scan
+	// these ordered secondary indexes (nil under MixPaper).
+	full          bool
+	ordNewOrder   *index.Ordered // NEW_ORDER by orderKey: Delivery's oldest-undelivered probe
+	ordOrdersCust *index.Ordered // ORDERS by (wid, did, cid, oid): OrderStatus's last-order scan
+	ordOrderLine  *index.Ordered // ORDER_LINE by orderLineKey: StockLevel's recent-lines scan
+
+	payments      []paymentTxn
+	neworders     []newOrderTxn
+	orderstatuses []orderStatusTxn
+	deliveries    []deliveryTxn
+	stocklevels   []stockLevelTxn
+	hseq          []uint64 // per-worker history key counter
 }
 
 // Build creates, populates and indexes the TPC-C database on db.
@@ -89,8 +118,14 @@ func Build(db *core.DB, cfg Config) *Workload {
 	if cfg.Warehouses <= 0 {
 		panic("tpcc: need at least one warehouse")
 	}
+	switch cfg.Mix {
+	case "", MixPaper:
+	case MixFull:
+	default:
+		panic("tpcc: unknown mix " + cfg.Mix)
+	}
 	n := db.RT.NumProcs()
-	w := &Workload{cfg: cfg, db: db}
+	w := &Workload{cfg: cfg, db: db, full: cfg.Mix == MixFull}
 
 	W := cfg.Warehouses
 	D := W * cfg.DistrictsPerWarehouse
@@ -99,7 +134,11 @@ func Build(db *core.DB, cfg Config) *Workload {
 	ins := cfg.InsertsPerWorker
 
 	w.warehouse = db.Catalog.Add(warehouseSchema(), W, W, n)
-	w.district = db.Catalog.Add(districtSchema(), D, D, n)
+	dsc := districtSchema()
+	if w.full {
+		dsc = districtSchemaFull()
+	}
+	w.district = db.Catalog.Add(dsc, D, D, n)
 	w.customer = db.Catalog.Add(customerSchema(), C, C, n)
 	w.item = db.Catalog.Add(itemSchema(), cfg.Items, cfg.Items, n)
 	w.stock = db.Catalog.Add(stockSchema(), S, S, n)
@@ -118,6 +157,14 @@ func Build(db *core.DB, cfg Config) *Workload {
 	w.idxNewOrder = db.AddIndex("NEW_ORDER_PK", w.neworder, n*ins)
 	w.idxOrderLine = db.AddIndex("ORDER_LINE_PK", w.orderline, n*ins*15)
 
+	// Ordered indexes exist only under the full mix — the paper mix's
+	// build stays byte-identical to the two-transaction engine.
+	if w.full {
+		w.ordNewOrder = db.AddOrderedIndex("NEW_ORDER_ORD", w.neworder)
+		w.ordOrdersCust = db.AddOrderedIndex("ORDERS_CUST", w.orders)
+		w.ordOrderLine = db.AddOrderedIndex("ORDER_LINE_ORD", w.orderline)
+	}
+
 	w.populate()
 
 	w.payments = make([]paymentTxn, n)
@@ -127,6 +174,16 @@ func Build(db *core.DB, cfg Config) *Workload {
 		w.payments[i].wl = w
 		w.neworders[i].wl = w
 		w.neworders[i].items = make([]olInput, 0, 15)
+	}
+	if w.full {
+		w.orderstatuses = make([]orderStatusTxn, n)
+		w.deliveries = make([]deliveryTxn, n)
+		w.stocklevels = make([]stockLevelTxn, n)
+		for i := 0; i < n; i++ {
+			w.orderstatuses[i].wl = w
+			w.deliveries[i].wl = w
+			w.stocklevels[i].wl = w
+		}
 	}
 	return w
 }
@@ -146,6 +203,12 @@ func stockKey(wid, iid uint64) uint64 { return index.CompositeKey(wid, 0, iid, 0
 func orderKey(wid, did, oid uint64) uint64 { return index.CompositeKey(wid, did, oid, 0) }
 
 func orderLineKey(wid, did, oid, ol uint64) uint64 { return index.CompositeKey(wid, did, oid, ol) }
+
+// custOrderKey orders a customer's orders by oid within (wid, did, cid) —
+// the ORDERS_CUST ordered-index key OrderStatus range-scans.
+func custOrderKey(wid, did, cid, oid uint64) uint64 {
+	return index.CompositeKey(wid, did, cid, oid)
+}
 
 func historyKey(worker int, seq uint64) uint64 {
 	return index.CompositeKey(uint64(worker)+1, 0, 0, 0) | seq
@@ -244,6 +307,9 @@ func (w *Workload) partitionOf(wid uint64) int {
 
 // Next implements core.Workload.
 func (w *Workload) Next(p rt.Proc) core.Txn {
+	if w.full {
+		return w.nextFull(p)
+	}
 	if p.Rand().Float64() < w.cfg.PaymentPct {
 		t := &w.payments[p.ID()]
 		t.generate(p)
@@ -254,12 +320,50 @@ func (w *Workload) Next(p rt.Proc) core.Txn {
 	return t
 }
 
+// nextFull draws from the specification's five-transaction mix:
+// NewOrder 45%, Payment 43%, OrderStatus 4%, Delivery 4%, StockLevel 4%
+// (§5.2.3 minimums, with NewOrder absorbing the remainder).
+func (w *Workload) nextFull(p rt.Proc) core.Txn {
+	r := p.Rand().Float64() * 100
+	switch {
+	case r < 43:
+		t := &w.payments[p.ID()]
+		t.generate(p)
+		return t
+	case r < 88:
+		t := &w.neworders[p.ID()]
+		t.generate(p)
+		return t
+	case r < 92:
+		t := &w.orderstatuses[p.ID()]
+		t.generate(p)
+		return t
+	case r < 96:
+		t := &w.deliveries[p.ID()]
+		t.generate(p)
+		return t
+	default:
+		t := &w.stocklevels[p.ID()]
+		t.generate(p)
+		return t
+	}
+}
+
 // txnTypeNames lists the two TPC-C transaction types the paper's mix
-// runs (§3.3), in TxnTypeOf index order.
-var txnTypeNames = []string{"Payment", "NewOrder"}
+// runs (§3.3), in TxnTypeOf index order; the full mix appends the
+// remaining three spec transactions.
+var (
+	txnTypeNames     = []string{"Payment", "NewOrder"}
+	txnTypeNamesFull = []string{"Payment", "NewOrder", "OrderStatus", "Delivery", "StockLevel"}
+)
 
 // TxnTypes implements core.TxnTyper.
-func (w *Workload) TxnTypes() []string { return txnTypeNames }
+func (w *Workload) TxnTypes() []string {
+	if w.full {
+		return txnTypeNamesFull
+	}
+	return txnTypeNames
+}
 
 // TxnTypeOf implements core.TxnTyper.
 func (w *Workload) TxnTypeOf(t core.Txn) int {
@@ -268,6 +372,12 @@ func (w *Workload) TxnTypeOf(t core.Txn) int {
 		return 0
 	case *newOrderTxn:
 		return 1
+	case *orderStatusTxn:
+		return 2
+	case *deliveryTxn:
+		return 3
+	case *stockLevelTxn:
+		return 4
 	}
 	return -1
 }

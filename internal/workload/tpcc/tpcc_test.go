@@ -167,3 +167,150 @@ func TestTPCCNewOrderConsistency(t *testing.T) {
 	}
 	_ = olCount
 }
+
+// TestTPCCFullMixAllSchemes runs the five-transaction spec mix on every
+// paper scheme: every transaction type must commit, including the three
+// range-scanning additions.
+func TestTPCCFullMixAllSchemes(t *testing.T) {
+	for name, mk := range schemeMakers() {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			eng := sim.New(8, 19)
+			db := core.NewDB(eng)
+			cfg := testConfig(4)
+			cfg.Mix = tpcc.MixFull
+			wl := tpcc.Build(db, cfg)
+			res := core.Run(db, mk(), wl, core.Config{WarmupCycles: 100_000, MeasureCycles: 3_000_000, AbortBackoff: 1000})
+			if res.Commits == 0 {
+				t.Fatalf("%s committed no transactions", name)
+			}
+			if len(res.PerTxn) != 5 {
+				t.Fatalf("full mix reports %d txn types, want 5", len(res.PerTxn))
+			}
+			for _, pt := range res.PerTxn {
+				if pt.Commits == 0 {
+					t.Errorf("%s: %s never committed", name, pt.Name)
+				}
+			}
+			t.Logf("%s", res.String())
+		})
+	}
+}
+
+// TestTPCCFullMixDeliveryConsistency checks the delivery-cursor protocol
+// after a serializable full-mix run: per district the cursor never passes
+// D_NEXT_O_ID; orders at most the cursor carry a carrier id and stamped
+// delivery dates on every line; orders above it carry neither; and the
+// district cursors, customer delivery counts and stamped orders all agree.
+func TestTPCCFullMixDeliveryConsistency(t *testing.T) {
+	eng := sim.New(8, 23)
+	db := core.NewDB(eng)
+	cfg := testConfig(2)
+	cfg.Mix = tpcc.MixFull
+	wl := tpcc.Build(db, cfg)
+	res := core.Run(db, twopl.New(twopl.NoWait, twopl.Options{}), wl,
+		core.Config{WarmupCycles: 0, MeasureCycles: 6_000_000, AbortBackoff: 500})
+	if res.Commits == 0 {
+		t.Fatal("no commits")
+	}
+	var delivered uint64
+	for _, pt := range res.PerTxn {
+		if pt.Name == "Delivery" && pt.Commits == 0 {
+			t.Fatal("no Delivery transactions committed; consistency check is vacuous")
+		}
+	}
+
+	dist := db.Catalog.Table("DISTRICT")
+	type dk struct{ w, d uint64 }
+	cursor := map[dk]uint64{}
+	var cursorSum uint64
+	for i := 0; i < dist.Loaded(); i++ {
+		row := dist.Row(i)
+		k := dk{dist.Schema.GetU64(row, tpcc.DWID), dist.Schema.GetU64(row, tpcc.DID)}
+		c := dist.Schema.GetU64(row, tpcc.DDelivOID)
+		next := dist.Schema.GetU64(row, tpcc.DNextOID)
+		if c >= next {
+			t.Fatalf("district %v: delivery cursor %d passed D_NEXT_O_ID %d", k, c, next)
+		}
+		cursor[k] = c
+		cursorSum += c
+	}
+	if cursorSum == 0 {
+		t.Fatal("no district ever delivered despite Delivery commits")
+	}
+
+	orders := db.Catalog.Table("ORDERS")
+	for i := orders.Loaded(); i < orders.Capacity(); i++ {
+		row := orders.Row(i)
+		w := orders.Schema.GetU64(row, tpcc.OWID)
+		if w == 0 {
+			continue
+		}
+		k := dk{w, orders.Schema.GetU64(row, tpcc.ODID)}
+		oid := orders.Schema.GetU64(row, tpcc.OID)
+		carrier := orders.Schema.GetU64(row, tpcc.OCarrierID)
+		if oid <= cursor[k] {
+			if carrier == 0 {
+				t.Fatalf("order %v/%d at or below cursor %d has no carrier", k, oid, cursor[k])
+			}
+			delivered++
+		} else if carrier != 0 {
+			t.Fatalf("order %v/%d above cursor %d already has carrier %d", k, oid, cursor[k], carrier)
+		}
+	}
+	if delivered != cursorSum {
+		t.Fatalf("cursors promise %d delivered orders, ORDERS shows %d", cursorSum, delivered)
+	}
+
+	ol := db.Catalog.Table("ORDER_LINE")
+	for i := ol.Loaded(); i < ol.Capacity(); i++ {
+		row := ol.Row(i)
+		w := ol.Schema.GetU64(row, tpcc.OLWID)
+		if w == 0 {
+			continue
+		}
+		k := dk{w, ol.Schema.GetU64(row, tpcc.OLDID)}
+		oid := ol.Schema.GetU64(row, tpcc.OLOID)
+		stamped := ol.Schema.GetU64(row, tpcc.OLDeliveryD) != 0
+		if oid <= cursor[k] && !stamped {
+			t.Fatalf("line %v/%d below cursor %d not stamped", k, oid, cursor[k])
+		}
+		if oid > cursor[k] && stamped {
+			t.Fatalf("line %v/%d above cursor %d stamped", k, oid, cursor[k])
+		}
+	}
+
+	cust := db.Catalog.Table("CUSTOMER")
+	var delivCnt uint64
+	for i := 0; i < cust.Loaded(); i++ {
+		delivCnt += cust.Schema.GetU64(cust.Row(i), tpcc.CDeliveryCnt)
+	}
+	if delivCnt != cursorSum {
+		t.Fatalf("customers record %d deliveries, cursors promise %d", delivCnt, cursorSum)
+	}
+
+	// Every committed order's NEW_ORDER ordered entry was published.
+	ord := db.OrderedIndex("NEW_ORDER_ORD")
+	var committedOrders int
+	for i := orders.Loaded(); i < orders.Capacity(); i++ {
+		if orders.Schema.GetU64(orders.Row(i), tpcc.OWID) != 0 {
+			committedOrders++
+		}
+	}
+	if ord.Len() != committedOrders {
+		t.Fatalf("NEW_ORDER ordered index has %d entries, ORDERS has %d committed rows", ord.Len(), committedOrders)
+	}
+}
+
+// TestTPCCUnknownMixPanics pins the Build-time validation.
+func TestTPCCUnknownMixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unknown mix")
+		}
+	}()
+	eng := sim.New(2, 1)
+	cfg := testConfig(1)
+	cfg.Mix = "bogus"
+	tpcc.Build(core.NewDB(eng), cfg)
+}

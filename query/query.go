@@ -1,0 +1,366 @@
+// Package query is a small iterator-model (Volcano-style) relational
+// operator layer over the abyss public API. A Plan is a composable tree
+// of lazy pull operators — table and index-range scans at the leaves,
+// filter/project/join/group/order/limit above them — that executes inside
+// a transaction: every tuple access goes through the transaction context,
+// so it pays the concurrency-control protocol's costs (locks, timestamp
+// checks, version lookups), can abort like any hand-written row access,
+// and is captured in the histories the serializability checker verifies.
+//
+// The package imports only abyss1000/abyss, so stored procedures built
+// from plans run identically on the simulator and the native runtime and
+// under every scheme. Plans are immutable and reusable: build once at
+// setup, Run per transaction.
+//
+// Plans read the leading fixed-width uint64 columns of each row into a
+// Tuple (every engine schema places its word columns first and padding
+// last); wider payload columns stay in the row and are not visible to
+// operators. Range scans are latch-consistent, not serializable — no
+// scheme implements next-key locking, so phantoms are possible under
+// every scheme (see workloads/chaos for the conformance discussion).
+package query
+
+import (
+	"sort"
+
+	"abyss1000/abyss"
+)
+
+// Tuple is one row's decoded word columns. Joins concatenate the left
+// tuple's columns before the right's; operators index columns by
+// position.
+type Tuple []uint64
+
+// step pulls the next tuple from an opened operator: (tuple, true, nil)
+// while tuples remain, (nil, false, nil) at end, and a non-nil error —
+// abyss.ErrAbort from concurrency control, or the caller's own — stops
+// the plan and propagates out of Run unchanged.
+type step func() (Tuple, bool, error)
+
+// Plan is an executable operator tree. The zero value is not a valid
+// Plan; build leaves with Scan or IndexRange and wrap them with the
+// combinator methods.
+type Plan struct {
+	open func(tx *abyss.TxnCtx) (step, error)
+}
+
+// wordCols counts the leading 8-byte columns of t's schema — the prefix a
+// Tuple decodes.
+func wordCols(t *abyss.Table) int {
+	n := 0
+	for _, c := range t.Schema.Cols {
+		if c.Width != 8 {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+func decode(t *abyss.Table, row []byte, ncols int) Tuple {
+	tup := make(Tuple, ncols)
+	for i := range tup {
+		tup[i] = t.Schema.GetU64(row, i)
+	}
+	return tup
+}
+
+// Scan is a full scan of t's setup-time rows, in slot order. Every row is
+// read through the transaction (one concurrency-controlled read per
+// tuple pulled). Rows inserted at runtime are not visited — they are
+// reachable through an index scan over an index that covers them.
+func Scan(t *abyss.Table) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		slot, loaded, ncols := 0, t.Loaded(), wordCols(t)
+		return func() (Tuple, bool, error) {
+			if slot >= loaded {
+				return nil, false, nil
+			}
+			row, err := tx.Read(t, slot)
+			if err != nil {
+				return nil, false, err
+			}
+			tup := decode(t, row, ncols)
+			slot++
+			return tup, true, nil
+		}, nil
+	}}
+}
+
+// IndexRange scans o for keys in [lo, hi], in ascending key order. The
+// key→slot pairs are collected when the plan opens (one latched index
+// scan, billed to the INDEX component); the rows themselves are read
+// through the transaction lazily, one concurrency-controlled read per
+// tuple pulled, so a Limit above the scan reads only the rows it emits.
+func IndexRange(o *abyss.OrderedIndex, lo, hi uint64) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		entries := tx.RangeScan(o, lo, hi)
+		t, ncols, i := o.Table(), wordCols(o.Table()), 0
+		return func() (Tuple, bool, error) {
+			if i >= len(entries) {
+				return nil, false, nil
+			}
+			row, err := tx.Read(t, int(entries[i].Slot))
+			if err != nil {
+				return nil, false, err
+			}
+			tup := decode(t, row, ncols)
+			i++
+			return tup, true, nil
+		}, nil
+	}}
+}
+
+// Filter keeps the tuples pred accepts.
+func (p *Plan) Filter(pred func(Tuple) bool) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		next, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		return func() (Tuple, bool, error) {
+			for {
+				t, ok, err := next()
+				if err != nil || !ok {
+					return nil, false, err
+				}
+				if pred(t) {
+					return t, true, nil
+				}
+			}
+		}, nil
+	}}
+}
+
+// Project maps each tuple to the given columns, in the given order.
+func (p *Plan) Project(cols ...int) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		next, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		return func() (Tuple, bool, error) {
+			t, ok, err := next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			out := make(Tuple, len(cols))
+			for j, c := range cols {
+				out[j] = t[c]
+			}
+			return out, true, nil
+		}, nil
+	}}
+}
+
+// Join is a nested-loop join: for every left tuple the right plan is
+// re-opened and scanned in full, emitting the concatenation of every
+// pair on accepts (nil on means a cross product). The right side re-pays
+// its read costs per left tuple — exactly what a nested-loop join costs;
+// use JoinIndex when an ordered index can bound the inner side.
+func (p *Plan) Join(right *Plan, on func(l, r Tuple) bool) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		lnext, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		var l Tuple
+		var rnext step
+		return func() (Tuple, bool, error) {
+			for {
+				if rnext == nil {
+					var ok bool
+					var err error
+					if l, ok, err = lnext(); err != nil || !ok {
+						return nil, false, err
+					}
+					if rnext, err = right.open(tx); err != nil {
+						return nil, false, err
+					}
+				}
+				r, ok, err := rnext()
+				if err != nil {
+					return nil, false, err
+				}
+				if !ok {
+					rnext = nil
+					continue
+				}
+				if on == nil || on(l, r) {
+					out := make(Tuple, 0, len(l)+len(r))
+					return append(append(out, l...), r...), true, nil
+				}
+			}
+		}, nil
+	}}
+}
+
+// JoinIndex is an index-nested-loop join: for every left tuple, span maps
+// it to a key range, o is range-scanned for that range, and the matching
+// rows of o's table are read and concatenated onto the left tuple. Each
+// left tuple pays one index scan plus one concurrency-controlled read per
+// match.
+func (p *Plan) JoinIndex(o *abyss.OrderedIndex, span func(l Tuple) (lo, hi uint64)) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		lnext, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		t, ncols := o.Table(), wordCols(o.Table())
+		var l Tuple
+		var entries []abyss.IndexEntry
+		i := 0
+		return func() (Tuple, bool, error) {
+			for {
+				if entries == nil {
+					var ok bool
+					var err error
+					if l, ok, err = lnext(); err != nil || !ok {
+						return nil, false, err
+					}
+					lo, hi := span(l)
+					entries, i = tx.RangeScan(o, lo, hi), 0
+				}
+				if i >= len(entries) {
+					entries = nil
+					continue
+				}
+				row, err := tx.Read(t, int(entries[i].Slot))
+				if err != nil {
+					return nil, false, err
+				}
+				i++
+				out := make(Tuple, 0, len(l)+ncols)
+				return append(append(out, l...), decode(t, row, ncols)...), true, nil
+			}
+		}, nil
+	}}
+}
+
+// Group folds the input into one accumulator tuple per key. fold is
+// called with the group's running accumulator (nil on the group's first
+// tuple) and must return the updated accumulator — typically seeding it
+// with the key plus zeroed aggregates on first call. Groups are emitted
+// in first-appearance order, which is deterministic because the input
+// order is.
+func (p *Plan) Group(key func(Tuple) uint64, fold func(acc, t Tuple) Tuple) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		next, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		var order []uint64
+		groups := make(map[uint64]Tuple)
+		for {
+			t, ok, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			k := key(t)
+			acc, seen := groups[k]
+			if !seen {
+				order = append(order, k)
+			}
+			groups[k] = fold(acc, t)
+		}
+		i := 0
+		return func() (Tuple, bool, error) {
+			if i >= len(order) {
+				return nil, false, nil
+			}
+			t := groups[order[i]]
+			i++
+			return t, true, nil
+		}, nil
+	}}
+}
+
+// OrderBy materializes the input when the plan opens and emits it sorted
+// by less (a stable sort, so input order breaks ties deterministically).
+func (p *Plan) OrderBy(less func(a, b Tuple) bool) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		next, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		var rows []Tuple
+		for {
+			t, ok, err := next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			rows = append(rows, t)
+		}
+		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+		i := 0
+		return func() (Tuple, bool, error) {
+			if i >= len(rows) {
+				return nil, false, nil
+			}
+			t := rows[i]
+			i++
+			return t, true, nil
+		}, nil
+	}}
+}
+
+// Limit emits at most n tuples. Above a lazy chain it stops pulling — and
+// stops paying read costs — after the n-th.
+func (p *Plan) Limit(n int) *Plan {
+	return &Plan{open: func(tx *abyss.TxnCtx) (step, error) {
+		next, err := p.open(tx)
+		if err != nil {
+			return nil, err
+		}
+		left := n
+		return func() (Tuple, bool, error) {
+			if left <= 0 {
+				return nil, false, nil
+			}
+			left--
+			return next()
+		}, nil
+	}}
+}
+
+// Run executes the plan inside tx, calling emit for every output tuple.
+// It returns the first error from a row access (abyss.ErrAbort must be
+// propagated out of the transaction body unchanged) or from emit, which
+// may return an error to stop early.
+func (p *Plan) Run(tx *abyss.TxnCtx, emit func(Tuple) error) error {
+	next, err := p.open(tx)
+	if err != nil {
+		return err
+	}
+	for {
+		t, ok, err := next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if err := emit(t); err != nil {
+			return err
+		}
+	}
+}
+
+// Collect runs the plan and returns all output tuples.
+func (p *Plan) Collect(tx *abyss.TxnCtx) ([]Tuple, error) {
+	var out []Tuple
+	err := p.Run(tx, func(t Tuple) error {
+		out = append(out, t)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

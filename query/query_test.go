@@ -1,0 +1,322 @@
+package query_test
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"abyss1000/abyss"
+	"abyss1000/query"
+)
+
+// fixture is a two-table schema for operator tests: EMP(ID, DEPT, SAL)
+// with an ordered index on CompositeKey(DEPT, ID), and DEPT(ID, BUDGET).
+type fixture struct {
+	emp, dept *abyss.Table
+	byDept    *abyss.OrderedIndex
+}
+
+const (
+	nEmp  = 40
+	nDept = 4
+)
+
+// empRow returns employee i's columns: id, dept, salary. Deterministic so
+// tests can compute expected results independently.
+func empRow(i int) (id, dept, sal uint64) {
+	return uint64(i), uint64(i % nDept), uint64(1000 + (i*37)%500)
+}
+
+func buildFixture(t *testing.T, db *abyss.DB) *fixture {
+	t.Helper()
+	f := &fixture{}
+	var err error
+	f.emp, err = db.CreateTable(abyss.TableSpec{
+		Name:     "EMP",
+		Cols:     []abyss.Col{{Name: "ID", Width: 8}, {Name: "DEPT", Width: 8}, {Name: "SAL", Width: 8}, {Name: "PAD", Width: 16}},
+		Capacity: nEmp, Loaded: nEmp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.dept, err = db.CreateTable(abyss.TableSpec{
+		Name:     "DEPT",
+		Cols:     []abyss.Col{{Name: "ID", Width: 8}, {Name: "BUDGET", Width: 8}},
+		Capacity: nDept, Loaded: nDept,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.byDept, err = db.CreateOrderedIndex("EMP_BY_DEPT", f.emp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nEmp; i++ {
+		id, dept, sal := empRow(i)
+		row := f.emp.LoadRow(i)
+		f.emp.Schema.PutU64(row, 0, id)
+		f.emp.Schema.PutU64(row, 1, dept)
+		f.emp.Schema.PutU64(row, 2, sal)
+		f.byDept.LoadInsert(abyss.CompositeKey(0, 0, dept, id), i)
+	}
+	for d := 0; d < nDept; d++ {
+		row := f.dept.LoadRow(d)
+		f.dept.Schema.PutU64(row, 0, uint64(d))
+		f.dept.Schema.PutU64(row, 1, uint64(10_000*(d+1)))
+	}
+	return f
+}
+
+// checkTxn runs body as the only transaction of a single-core run; body
+// errors fail the test.
+type checkTxn struct {
+	body func(tx *abyss.TxnCtx) error
+}
+
+func (c *checkTxn) Run(tx *abyss.TxnCtx) error { return c.body(tx) }
+func (c *checkTxn) Partitions() []int          { return nil }
+
+type checkWorkload struct{ txn *checkTxn }
+
+func (w *checkWorkload) Next(p abyss.Proc) abyss.Txn { return w.txn }
+
+// runQueries executes body repeatedly through the engine (NO_WAIT, one
+// simulated core) and fails the test on any error.
+func runQueries(t *testing.T, body func(f *fixture, tx *abyss.TxnCtx) error) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 1, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := buildFixture(t, db)
+	scheme, err := abyss.NewScheme("NO_WAIT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl := &checkWorkload{txn: &checkTxn{
+		body: func(tx *abyss.TxnCtx) error { return body(f, tx) },
+	}}
+	res, err := db.Run(scheme, wl, abyss.RunConfig{WarmupCycles: 5_000, MeasureCycles: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Fatal("query transactions never committed")
+	}
+}
+
+func TestScanFilterProject(t *testing.T) {
+	runQueries(t, func(f *fixture, tx *abyss.TxnCtx) error {
+		got, err := query.Scan(f.emp).
+			Filter(func(tu query.Tuple) bool { return tu[2] >= 1400 }).
+			Project(0).
+			Collect(tx)
+		if err != nil {
+			return err
+		}
+		var want []query.Tuple
+		for i := 0; i < nEmp; i++ {
+			if id, _, sal := empRow(i); sal >= 1400 {
+				want = append(want, query.Tuple{id})
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("scan/filter/project = %v, want %v", got, want)
+		}
+		return nil
+	})
+}
+
+func TestIndexRangeScansOneDepartment(t *testing.T) {
+	runQueries(t, func(f *fixture, tx *abyss.TxnCtx) error {
+		const dept = 2
+		lo := abyss.CompositeKey(0, 0, dept, 0)
+		hi := abyss.CompositeKey(0, 0, dept, 0xffff)
+		got, err := query.IndexRange(f.byDept, lo, hi).Collect(tx)
+		if err != nil {
+			return err
+		}
+		var wantIDs []uint64
+		for i := 0; i < nEmp; i++ {
+			if id, d, _ := empRow(i); d == dept {
+				wantIDs = append(wantIDs, id)
+			}
+		}
+		if len(got) != len(wantIDs) {
+			return fmt.Errorf("index range returned %d rows, want %d", len(got), len(wantIDs))
+		}
+		for j, tu := range got {
+			if tu[0] != wantIDs[j] || tu[1] != dept {
+				return fmt.Errorf("row %d = %v, want id %d dept %d", j, tu, wantIDs[j], dept)
+			}
+		}
+		return nil
+	})
+}
+
+func TestJoinVariantsAgree(t *testing.T) {
+	runQueries(t, func(f *fixture, tx *abyss.TxnCtx) error {
+		// DEPT ⋈ EMP on dept id, both as a nested-loop join and as an
+		// index-nested-loop join over the ordered index: identical output
+		// modulo order, and every pair joins correctly.
+		nested, err := query.Scan(f.dept).
+			Join(query.Scan(f.emp), func(l, r query.Tuple) bool { return l[0] == r[1] }).
+			Collect(tx)
+		if err != nil {
+			return err
+		}
+		indexed, err := query.Scan(f.dept).
+			JoinIndex(f.byDept, func(l query.Tuple) (uint64, uint64) {
+				return abyss.CompositeKey(0, 0, l[0], 0), abyss.CompositeKey(0, 0, l[0], 0xffff)
+			}).
+			Collect(tx)
+		if err != nil {
+			return err
+		}
+		if len(nested) != nEmp || len(indexed) != nEmp {
+			return fmt.Errorf("join sizes: nested %d, indexed %d, want %d", len(nested), len(indexed), nEmp)
+		}
+		key := func(tu query.Tuple) string { return fmt.Sprint([]uint64(tu)) }
+		seen := map[string]int{}
+		for _, tu := range nested {
+			if tu[0] != tu[3] {
+				return fmt.Errorf("nested join emitted non-matching pair %v", tu)
+			}
+			seen[key(tu)]++
+		}
+		for _, tu := range indexed {
+			if seen[key(tu)] == 0 {
+				return fmt.Errorf("index join emitted %v, absent from nested join", tu)
+			}
+			seen[key(tu)]--
+		}
+		return nil
+	})
+}
+
+func TestGroupAggregates(t *testing.T) {
+	runQueries(t, func(f *fixture, tx *abyss.TxnCtx) error {
+		// Sum of salaries per department, grouped over a full scan. Scan
+		// order makes first-appearance order 0,1,2,3.
+		got, err := query.Scan(f.emp).
+			Group(func(tu query.Tuple) uint64 { return tu[1] },
+				func(acc, tu query.Tuple) query.Tuple {
+					if acc == nil {
+						acc = query.Tuple{tu[1], 0, 0}
+					}
+					acc[1] += tu[2] // sum
+					acc[2]++        // count
+					return acc
+				}).
+			Collect(tx)
+		if err != nil {
+			return err
+		}
+		want := make([]query.Tuple, nDept)
+		for i := 0; i < nEmp; i++ {
+			_, d, sal := empRow(i)
+			if want[d] == nil {
+				want[d] = query.Tuple{d, 0, 0}
+			}
+			want[d][1] += sal
+			want[d][2]++
+		}
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("group = %v, want %v", got, want)
+		}
+		return nil
+	})
+}
+
+func TestOrderByLimit(t *testing.T) {
+	runQueries(t, func(f *fixture, tx *abyss.TxnCtx) error {
+		got, err := query.Scan(f.emp).
+			OrderBy(func(a, b query.Tuple) bool { return a[2] > b[2] }).
+			Limit(3).
+			Project(2).
+			Collect(tx)
+		if err != nil {
+			return err
+		}
+		var sals []uint64
+		for i := 0; i < nEmp; i++ {
+			_, _, sal := empRow(i)
+			sals = append(sals, sal)
+		}
+		sort.Slice(sals, func(i, j int) bool { return sals[i] > sals[j] })
+		if len(got) != 3 {
+			return fmt.Errorf("limit 3 emitted %d tuples", len(got))
+		}
+		for j := 0; j < 3; j++ {
+			if got[j][0] != sals[j] {
+				return fmt.Errorf("top-3 salaries = %v, want prefix %v", got, sals[:3])
+			}
+		}
+		return nil
+	})
+}
+
+func TestEmitErrorStopsRun(t *testing.T) {
+	sentinel := errors.New("stop")
+	runQueries(t, func(f *fixture, tx *abyss.TxnCtx) error {
+		pulled := 0
+		err := query.Scan(f.emp).Run(tx, func(query.Tuple) error {
+			pulled++
+			if pulled == 2 {
+				return sentinel
+			}
+			return nil
+		})
+		if !errors.Is(err, sentinel) {
+			return fmt.Errorf("Run returned %v, want sentinel", err)
+		}
+		if pulled != 2 {
+			return fmt.Errorf("emit called %d times after error, want 2", pulled)
+		}
+		// The transaction itself continues and commits: an emit error is
+		// the caller's control flow, not an engine abort.
+		return nil
+	})
+}
+
+func TestLimitReadsLazily(t *testing.T) {
+	// A Limit over an index range must stop pulling row reads after n
+	// tuples: verify via Tuples accounting that a limited plan reads
+	// fewer rows than the full scan.
+	count := func(limit int) uint64 {
+		db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := buildFixture(t, db)
+		scheme, err := abyss.NewScheme("NO_WAIT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan := query.IndexRange(f.byDept, 0, ^uint64(0))
+		if limit > 0 {
+			plan = plan.Limit(limit)
+		}
+		wl := &checkWorkload{txn: &checkTxn{body: func(tx *abyss.TxnCtx) error {
+			_, err := plan.Collect(tx)
+			return err
+		}}}
+		res, err := db.Run(scheme, wl, abyss.RunConfig{WarmupCycles: 5_000, MeasureCycles: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Commits == 0 {
+			t.Fatal("no commits")
+		}
+		return res.Tuples / res.Commits
+	}
+	full, limited := count(0), count(2)
+	if limited >= full {
+		t.Fatalf("Limit(2) read %d rows per txn, full scan %d: limit is not lazy", limited, full)
+	}
+	if limited != 2 {
+		t.Fatalf("Limit(2) read %d rows per txn, want 2", limited)
+	}
+}

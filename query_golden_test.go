@@ -1,0 +1,33 @@
+package abyss1000_test
+
+// The query operator layer and the TATP extension workload are opt-in:
+// linking them into a binary may not change what the paper experiments
+// measure. The imports below force both packages (and the ordered-index
+// machinery they pull in) into this test binary; the simulator's golden
+// signature across eleven runs must stay byte-identical to the pinned
+// transcript captured before either existed.
+
+import (
+	"os"
+	"testing"
+
+	"abyss1000/bench"
+
+	_ "abyss1000/query"
+	_ "abyss1000/workloads/tatp"
+)
+
+func TestGoldenSignatureWithQueryLayer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs ~11 full simulations")
+	}
+	want, err := os.ReadFile("testdata/golden_sim.txt")
+	if err != nil {
+		t.Fatalf("missing pinned signature: %v", err)
+	}
+	got := bench.GoldenSignature()
+	if got != string(want) {
+		t.Errorf("query layer or TATP registration perturbed the simulated schedule:\n%s",
+			diffLines(string(want), got))
+	}
+}

@@ -15,6 +15,18 @@
 // failing (seed, scheme, cores) triple is a one-line repro
 // (`abyss-sim -check -workload chaos -scheme S -cores C -seed N`).
 //
+// Every table also carries an ordered index, and a per-seed RangeScan
+// procedure reads (and sometimes rewrites) the rows an index range scan
+// returns. One conformance caveat: range scans are latch-consistent but
+// not phantom-protected — no scheme implements next-key locking, so a
+// concurrent committed insert may or may not appear in an overlapping
+// scan, and the engine promises only tuple-level serializability. The
+// history checker shares that granularity (it verifies the reads and
+// writes of individual tuples, not predicate stability), so the sweep
+// still passes with scan-bearing procedures; range isolation weaker than
+// full serializability is documented engine behavior, not a checker gap
+// being papered over.
+//
 // Like abyss1000/workloads/smallbank, the package imports only the public
 // abyss API and registers itself ("chaos") on import.
 package chaos
@@ -33,6 +45,7 @@ const (
 	ProcMixed      = "Mixed"
 	ProcInsert     = "Insert"
 	ProcAbortProne = "AbortProne"
+	ProcRangeScan  = "RangeScan"
 )
 
 // Config parameterizes the generator. Use DefaultConfig as the base.
@@ -63,10 +76,14 @@ func DefaultConfig(seed int64) Config {
 // exhaust an insert segment.
 const insertBudget = 96
 
-// chaosTable is one generated table: storage, index and its skew.
+// chaosTable is one generated table: storage, indexes and its skew. Every
+// table carries both a hash index and an ordered index over the same
+// keys, so range-scan procedures and inserts exercise the ordered path
+// under the same contention the point accesses generate.
 type chaosTable struct {
 	tab    *abyss.Table
 	idx    *abyss.Index
+	ord    *abyss.OrderedIndex
 	rows   int     // loaded rows
 	hotN   int     // hot-set size, in [1, rows]
 	hotPct float64 // probability a draw lands in the hot set
@@ -115,16 +132,21 @@ func Build(db *abyss.DB, cfg Config) (*Workload, error) {
 		if err != nil {
 			return nil, err
 		}
+		ord, err := db.CreateOrderedIndex(name+"_ORD", tab)
+		if err != nil {
+			return nil, err
+		}
 		sc := tab.Schema
 		for s := 0; s < rows; s++ {
 			row := tab.LoadRow(s)
 			sc.PutU64(row, 0, uint64(s))
 			sc.PutU64(row, 1, uint64(s)*7)
 			idx.LoadInsert(uint64(s), s)
+			ord.LoadInsert(uint64(s), s)
 		}
 		hotN := 1 + rng.Intn(rows)
 		w.tables = append(w.tables, chaosTable{
-			tab: tab, idx: idx, rows: rows,
+			tab: tab, idx: idx, ord: ord, rows: rows,
 			hotN:   hotN,
 			hotPct: 0.5 + rng.Float64()*0.45,
 		})
@@ -137,7 +159,7 @@ func Build(db *abyss.DB, cfg Config) (*Workload, error) {
 		mode int
 	}
 	draws := []procDraw{{ProcReadOnly, modeReadOnly}, {ProcRMW, modeRMW}}
-	for _, opt := range []procDraw{{ProcMixed, modeMixed}, {ProcInsert, modeInsert}, {ProcAbortProne, modeAbortProne}} {
+	for _, opt := range []procDraw{{ProcMixed, modeMixed}, {ProcInsert, modeInsert}, {ProcAbortProne, modeAbortProne}, {ProcRangeScan, modeRangeScan}} {
 		if rng.Float64() < 0.7 {
 			draws = append(draws, opt)
 		}
@@ -184,6 +206,7 @@ const (
 	modeMixed
 	modeInsert
 	modeAbortProne
+	modeRangeScan
 )
 
 // op is one drawn row access.
@@ -207,6 +230,11 @@ type chaosTxn struct {
 	insTable int    // Insert: target table
 	insKey   uint64 // Insert: fresh unique key
 	inserted int    // Insert: draws so far, gated by insertBudget
+
+	scanTable  int    // RangeScan: target table
+	scanLo     uint64 // RangeScan: inclusive key range
+	scanHi     uint64
+	scanMutate bool // RangeScan: rewrite one scanned row
 }
 
 // drawSlot picks a slot in table ti with the table's hot-set skew.
@@ -225,6 +253,23 @@ func (t *chaosTxn) Generate(p abyss.Proc) {
 	t.ops = t.ops[:0]
 	t.abort = false
 	t.insert = false
+
+	if t.mode == modeRangeScan {
+		// One ordered-index range scan, sometimes rewriting a scanned
+		// row. Its key→slot mapping is unknown until execution (scans
+		// can see other workers' inserts), so H-STORE gets the full
+		// partition set.
+		t.scanTable = rng.Intn(len(t.wl.tables))
+		ct := &t.wl.tables[t.scanTable]
+		t.scanLo = uint64(rng.Intn(ct.rows))
+		t.scanHi = t.scanLo + 1 + uint64(rng.Intn(ct.rows))
+		t.scanMutate = rng.Intn(2) == 0
+		t.parts = t.parts[:0]
+		for pid := 0; pid < t.wl.nparts; pid++ {
+			t.parts = append(t.parts, pid)
+		}
+		return
+	}
 
 	n := 1 + rng.Intn(t.wl.cfg.Ops)
 	for len(t.ops) < n {
@@ -297,6 +342,25 @@ func (t *chaosTxn) Partitions() []int { return t.parts }
 
 // Run implements abyss.Txn.
 func (t *chaosTxn) Run(tx *abyss.TxnCtx) error {
+	if t.mode == modeRangeScan {
+		ct := &t.wl.tables[t.scanTable]
+		sc := ct.tab.Schema
+		entries := tx.RangeScan(ct.ord, t.scanLo, t.scanHi)
+		for i, e := range entries {
+			if t.scanMutate && i == 0 {
+				row, err := tx.UpdateRow(ct.tab, int(e.Slot))
+				if err != nil {
+					return err
+				}
+				sc.PutU64(row, 1, sc.GetU64(row, 1)*2654435761+e.Key+1)
+				continue
+			}
+			if _, err := tx.Read(ct.tab, int(e.Slot)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	for _, o := range t.ops {
 		ct := &t.wl.tables[o.table]
 		sc := ct.tab.Schema
@@ -317,7 +381,7 @@ func (t *chaosTxn) Run(tx *abyss.TxnCtx) error {
 	if t.insert {
 		ct := &t.wl.tables[t.insTable]
 		sc := ct.tab.Schema
-		row := tx.InsertRow(ct.idx, t.insKey)
+		row := tx.InsertRowOrdered(ct.idx, t.insKey, ct.ord, t.insKey)
 		sc.PutU64(row, 0, t.insKey)
 		sc.PutU64(row, 1, t.insKey*31)
 	}

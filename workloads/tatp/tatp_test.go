@@ -1,0 +1,201 @@
+package tatp_test
+
+// TATP conformance: the workload must run under every registered paper
+// scheme on both runtimes with every procedure committing, stay
+// deterministic on the simulator, and keep the CALL_FORWARDING
+// invariants of the tombstone protocol. Like the workload, the test file
+// imports only public packages.
+
+import (
+	"testing"
+
+	"abyss1000/abyss"
+	"abyss1000/workloads/tatp"
+)
+
+func smallConfig() tatp.Config {
+	cfg := tatp.DefaultConfig()
+	cfg.Subscribers = 2048
+	cfg.InsertsPerWorker = 512
+	return cfg
+}
+
+// runSim builds and runs one TATP measurement on a fresh simulated DB.
+func runSim(t *testing.T, scheme string, cores int, seed int64, rc abyss.RunConfig) (abyss.Result, *tatp.Workload) {
+	t.Helper()
+	db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeSim, Cores: cores, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := tatp.Build(db, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := abyss.NewScheme(scheme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Run(s, wl, rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, wl
+}
+
+// assertAllProceduresCommit checks PerTxn covers the seven procedures in
+// mix order and that each of them committed at least once.
+func assertAllProceduresCommit(t *testing.T, res abyss.Result) {
+	t.Helper()
+	if len(res.PerTxn) != len(tatp.Procedures) {
+		t.Fatalf("PerTxn has %d entries, want %d", len(res.PerTxn), len(tatp.Procedures))
+	}
+	for i := range res.PerTxn {
+		ts := &res.PerTxn[i]
+		if ts.Name != tatp.Procedures[i] {
+			t.Errorf("PerTxn[%d].Name = %q, want %q", i, ts.Name, tatp.Procedures[i])
+		}
+		if ts.Commits == 0 {
+			t.Errorf("%s never committed", ts.Name)
+		}
+	}
+}
+
+func TestTATPAllSchemesSim(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 100_000, MeasureCycles: 2_000_000, AbortBackoff: 500}
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			res, _ := runSim(t, name, 8, 7, rc)
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing: %+v", name, res)
+			}
+			assertAllProceduresCommit(t, res)
+			t.Logf("%s", res.String())
+		})
+	}
+}
+
+func TestTATPAllSchemesNative(t *testing.T) {
+	if testing.Short() {
+		t.Skip("native wall-clock runs skipped in -short")
+	}
+	rc := abyss.RunConfig{WarmupCycles: 2_000_000, MeasureCycles: 30_000_000, AbortBackoff: 500} // ns
+	for _, name := range abyss.PaperSchemes() {
+		t.Run(name, func(t *testing.T) {
+			db, err := abyss.Open(abyss.Options{Runtime: abyss.RuntimeNative, Cores: 4, Seed: 7})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wl, err := tatp.Build(db, smallConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := abyss.NewScheme(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := db.Run(s, wl, rc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Commits == 0 {
+				t.Fatalf("%s committed nothing natively", name)
+			}
+			if len(res.PerTxn) != len(tatp.Procedures) {
+				t.Fatalf("PerTxn has %d entries, want %d", len(res.PerTxn), len(tatp.Procedures))
+			}
+		})
+	}
+}
+
+func TestTATPDeterministicSim(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 50_000, MeasureCycles: 1_000_000, AbortBackoff: 500}
+	for _, name := range []string{"NO_WAIT", "MVCC", "HSTORE"} {
+		t.Run(name, func(t *testing.T) {
+			a, _ := runSim(t, name, 4, 11, rc)
+			b, _ := runSim(t, name, 4, 11, rc)
+			if a.Commits != b.Commits || a.Aborts != b.Aborts || a.Tuples != b.Tuples {
+				t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+			}
+		})
+	}
+}
+
+// TestTATPCallForwardingIntegrity checks the tombstone protocol's
+// invariants after a serializable run: every CALL_FORWARDING row —
+// pre-loaded or runtime-inserted — carries a well-formed
+// (subscriber, facility, start) combination, and no combination appears
+// twice (the existence guard on the facility row must prevent duplicate
+// staging).
+func TestTATPCallForwardingIntegrity(t *testing.T) {
+	rc := abyss.RunConfig{WarmupCycles: 0, MeasureCycles: 4_000_000, AbortBackoff: 500}
+	_, wl := runSim(t, "NO_WAIT", 8, 23, rc)
+
+	cf := wl.CallForwarding()
+	sc := cf.Schema
+	type combo struct{ sid, sf, start uint64 }
+	seen := map[combo]bool{}
+	rows := 0
+	for slot := 0; slot < cf.Capacity(); slot++ {
+		row := cf.Row(slot)
+		sid := sc.GetU64(row, 0)
+		sf := sc.GetU64(row, 1)
+		start := sc.GetU64(row, 2)
+		if slot >= cf.Loaded() && sf == 0 {
+			continue // unallocated insert-segment slot
+		}
+		rows++
+		if sf < 1 || sf > 4 {
+			t.Fatalf("slot %d: facility type %d out of range", slot, sf)
+		}
+		if start != 0 && start != 8 && start != 16 {
+			t.Fatalf("slot %d: start time %d not in {0, 8, 16}", slot, start)
+		}
+		c := combo{sid, sf, start}
+		if seen[c] {
+			t.Fatalf("slot %d: duplicate forwarding %+v", slot, c)
+		}
+		seen[c] = true
+	}
+	if rows <= cf.Loaded() {
+		t.Fatalf("no runtime inserts materialized (%d rows, %d loaded)", rows, cf.Loaded())
+	}
+}
+
+// TestTATPRegistry exercises the registered entry point.
+func TestTATPRegistry(t *testing.T) {
+	found := false
+	for _, name := range abyss.Workloads() {
+		if name == "tatp" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("tatp not in workload registry: %v", abyss.Workloads())
+	}
+
+	p, err := abyss.DefaultWorkloadParams("tatp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := tatp.DefaultConfig()
+	if p.Subscribers != def.Subscribers || p.InsertsPerWorker != def.InsertsPerWorker {
+		t.Fatalf("registry defaults %+v do not match tatp.DefaultConfig() %+v", p, def)
+	}
+
+	db, err := abyss.Open(abyss.Options{Cores: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Subscribers = 0
+	if _, err := db.BuildWorkload("tatp", p); err == nil {
+		t.Fatal("Subscribers=0 should be rejected")
+	}
+	p.Subscribers = 512
+	wl, err := db.BuildWorkload("tatp", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl == nil {
+		t.Fatal("registry build returned nil workload")
+	}
+}
